@@ -1,0 +1,70 @@
+// Command benchprep (re)builds the checked-in benchmark datasets under
+// benchdata/bench and prints the ablation statistics the benchmarks
+// assert. Generation is deterministic, so running it on a clean
+// checkout reproduces the committed files byte for byte.
+//
+// Usage:
+//
+//	go run ./cmd/benchprep [-root benchdata/bench] [-divisor 20000] [-regen]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/device"
+	"ringsampler/internal/exp"
+	"ringsampler/internal/simrun"
+)
+
+func main() {
+	root := flag.String("root", "benchdata/bench", "dataset root directory")
+	divisor := flag.Int("divisor", 20_000, "paper-scale divisor")
+	regen := flag.Bool("regen", false, "force regeneration even if files verify")
+	flag.Parse()
+
+	p, err := exp.Prepare(*root, "ogbn-papers", *divisor, *regen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d nodes, %d edges, %d bytes\n",
+		p.Dir, p.Manifest.NumNodes, p.Manifest.NumEdges, p.Manifest.BinBytes)
+
+	ds, err := p.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	base := core.SimConfig{
+		Config:       core.DefaultConfig(),
+		ScaleDivisor: *divisor,
+		BudgetBytes:  simrun.GBytes(1),
+		Targets:      512,
+		WorkloadSeed: 1,
+	}
+	base.Config.BatchSize = 128
+	base.Config.Threads = 8
+	for _, mode := range []struct {
+		name   string
+		offset bool
+		async  bool
+	}{
+		{"offset+async", true, true},
+		{"offset+sync", true, false},
+		{"full-fetch", false, true},
+	} {
+		sc := base
+		sc.Config.OffsetSampling = mode.offset
+		sc.Config.AsyncPipeline = mode.async
+		r := core.RunSim(ds, device.NVMe(), sc)
+		if r.Err != nil {
+			log.Fatalf("%s: %v", mode.name, r.Err)
+		}
+		fmt.Printf("%-14s modeled %.6fs  devOps %8d  devMB %8.2f  sampled %d\n",
+			mode.name, r.ModeledSeconds, r.DeviceOps,
+			float64(r.DeviceBytes)/(1<<20), r.Sampled)
+	}
+}

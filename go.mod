@@ -1,0 +1,3 @@
+module ringsampler
+
+go 1.23

@@ -1,0 +1,38 @@
+package core
+
+// Layer holds one sampling layer of a mini-batch in CSR form: the
+// frontier nodes targeted at this layer, and each node's sampled
+// neighbors concatenated, delimited by Starts.
+type Layer struct {
+	// Targets are the frontier nodes of this layer (layer 0: the
+	// caller's targets; deeper layers: the sort+dedup'd neighbors of
+	// the previous layer).
+	Targets []uint32
+	// Starts has len(Targets)+1 entries; Neighbors[Starts[i]:Starts[i+1]]
+	// are Targets[i]'s sampled neighbors.
+	Starts []int64
+	// Neighbors is every sampled neighbor ID, in entry-file order per
+	// target.
+	Neighbors []uint32
+}
+
+// NeighborsOf returns the sampled neighbors of Targets[i].
+func (l *Layer) NeighborsOf(i int) []uint32 {
+	return l.Neighbors[l.Starts[i]:l.Starts[i+1]]
+}
+
+// Batch is the result of sampling one mini-batch: one Layer per
+// configured fanout.
+type Batch struct {
+	Layers []Layer
+}
+
+// TotalSampled returns the total number of sampled neighbor entries
+// across all layers.
+func (b *Batch) TotalSampled() int64 {
+	var n int64
+	for i := range b.Layers {
+		n += int64(len(b.Layers[i].Neighbors))
+	}
+	return n
+}

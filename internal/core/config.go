@@ -1,0 +1,73 @@
+// Package core implements the RingSampler engine itself (paper §3):
+// offset-based neighbor sampling over an on-disk edge file, per-thread
+// workers with private rings/RNG/workspaces and zero cross-thread
+// synchronization, an asynchronous I/O-group pipeline overlapping
+// submission preparation with completion draining, and between-layer
+// sort+dedup frontier building. The same algorithm runs two ways: for
+// real against a uring backend (worker.go) and under the virtual-time
+// device model for the cross-system experiments (sim.go).
+package core
+
+import "fmt"
+
+// DefaultFanouts is the paper's 3-layer GraphSAGE fanout {20,15,10}.
+var DefaultFanouts = []int{20, 15, 10}
+
+// Config controls the engine. The ablation switches (AsyncPipeline,
+// OffsetSampling) exist so the paper's design choices can be measured
+// against their alternatives; production use leaves both true.
+type Config struct {
+	// Fanouts is the per-layer sample count, outermost layer first.
+	Fanouts []int
+	// BatchSize is the number of target nodes per mini-batch.
+	BatchSize int
+	// Threads is the worker count for epoch runs (mini-batch-per-
+	// thread, Fig 3a).
+	Threads int
+	// RingSize is the SQ depth of each worker's ring; one I/O group is
+	// at most one ring full (paper default 512).
+	RingSize int
+	// AsyncPipeline overlaps preparing group k+1 with draining group
+	// k's completions (Fig 3b). False degrades to submit-then-wait.
+	AsyncPipeline bool
+	// OffsetSampling fetches only the sampled entries via offset-based
+	// reads (Fig 2). False degrades to fetching full neighbor lists.
+	OffsetSampling bool
+	// Seed drives all sampling randomness. Identical seeds yield
+	// bit-identical sample sets.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Fanouts:        append([]int(nil), DefaultFanouts...),
+		BatchSize:      1024,
+		Threads:        8,
+		RingSize:       512,
+		AsyncPipeline:  true,
+		OffsetSampling: true,
+		Seed:           1,
+	}
+}
+
+func (c *Config) validate() error {
+	if len(c.Fanouts) == 0 {
+		return fmt.Errorf("core: config needs at least one fanout layer")
+	}
+	for i, f := range c.Fanouts {
+		if f <= 0 {
+			return fmt.Errorf("core: fanout[%d] = %d must be positive", i, f)
+		}
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: batch size %d must be positive", c.BatchSize)
+	}
+	if c.Threads <= 0 {
+		return fmt.Errorf("core: thread count %d must be positive", c.Threads)
+	}
+	if c.RingSize <= 0 {
+		return fmt.Errorf("core: ring size %d must be positive", c.RingSize)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"ringsampler/internal/device"
+	"ringsampler/internal/memctl"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/simrun"
+	"ringsampler/internal/simtime"
+	"ringsampler/internal/storage"
+)
+
+// SimConfig configures a modeled (virtual-time) RingSampler epoch over
+// a scaled dataset. Memory is accounted at paper scale: graph-
+// proportional structures are multiplied back up by ScaleDivisor
+// before being charged against BudgetBytes, so a "4 GB cgroup" means
+// the same thing it does in the paper (DESIGN.md §1).
+type SimConfig struct {
+	Config       Config
+	ScaleDivisor int
+	// BudgetBytes is the paper-scale memory budget (0 = unlimited).
+	BudgetBytes int64
+	// Targets is the number of epoch target nodes, drawn uniformly.
+	Targets int
+	// WorkloadSeed drives target selection and per-batch sampling.
+	WorkloadSeed uint64
+}
+
+// SimResult is one modeled epoch.
+type SimResult struct {
+	Err error
+	// OOM is set when Err is a memory-budget failure — the modeled
+	// equivalent of the kernel killing the run (Figures 4/5).
+	OOM bool
+	// ModeledSeconds is the virtual-time epoch duration.
+	ModeledSeconds float64
+	// DeviceBytes / DeviceOps are what actually crossed the storage
+	// boundary under the configured sampling mode.
+	DeviceBytes int64
+	DeviceOps   int64
+	// FullFetchBytes is what fetching complete neighbor lists would
+	// have moved for the same frontiers — the read-amplification
+	// denominator of the paper's Fig 2 claim.
+	FullFetchBytes int64
+	// Sampled is the total sampled neighbor entries.
+	Sampled int64
+	// HighWaterBytes is the paper-scale memory high-water mark.
+	HighWaterBytes int64
+}
+
+// Seconds returns the modeled epoch time.
+func (r SimResult) Seconds() float64 { return r.ModeledSeconds }
+
+// WorkspaceBytes returns the paper-scale bytes of one worker's private
+// workspaces: the worst-case per-layer entry counts of the configured
+// batch shape, at ~12 bytes per entry across the offset/neighbor/
+// target arrays. Workspace size depends only on the batch shape —
+// never on graph size — which is the paper's memory-proportionality
+// claim.
+func WorkspaceBytes(c *Config) int64 {
+	per := int64(c.BatchSize)
+	var entries int64
+	for _, f := range c.Fanouts {
+		per *= int64(f)
+		entries += per
+	}
+	return entries * 12
+}
+
+// RunSim runs one modeled epoch: the same offset-sampling algorithm as
+// the real engine, executed against the in-memory edge array, charging
+// virtual time to per-thread pipelines and I/O to the device model.
+// Mini-batches distribute round-robin across modeled threads with no
+// cross-thread interaction (Fig 3a); the epoch is the slowest thread,
+// clamped from below by aggregate device capacity (DESIGN.md's
+// virtual-time correctness note).
+func RunSim(ds *storage.Dataset, dev *device.Model, sc SimConfig) SimResult {
+	cfg := sc.Config
+	if err := cfg.validate(); err != nil {
+		return SimResult{Err: err}
+	}
+	if sc.Targets <= 0 {
+		return SimResult{Err: fmt.Errorf("core: sim needs a positive target count, got %d", sc.Targets)}
+	}
+	div := int64(sc.ScaleDivisor)
+	if div <= 0 {
+		div = 1
+	}
+	edges, err := ds.LoadEdges()
+	if err != nil {
+		return SimResult{Err: err}
+	}
+
+	// Paper-scale memory accounting: offset index (node-proportional,
+	// scaled back up) + per-thread workspaces (batch-shape-
+	// proportional, scale-independent).
+	budget := memctl.New(sc.BudgetBytes)
+	paperNodes := ds.NumNodes() * div
+	if err := budget.Charge((paperNodes + 1) * storage.OffsetBytes); err != nil {
+		return SimResult{Err: err, OOM: memctl.IsOOM(err)}
+	}
+	if err := budget.Charge(WorkspaceBytes(&cfg) * int64(cfg.Threads)); err != nil {
+		return SimResult{Err: err, OOM: memctl.IsOOM(err)}
+	}
+
+	// Epoch workload: uniform targets, split into mini-batches, one
+	// batch per thread round-robin.
+	numNodes := uint32(ds.NumNodes())
+	wl := sample.NewRNG(sample.Mix(sc.WorkloadSeed, 0))
+	targets := make([]uint32, sc.Targets)
+	for i := range targets {
+		targets[i] = wl.Uint32n(numNodes)
+	}
+	pipes := make([]simtime.Pipeline, cfg.Threads)
+	res := SimResult{HighWaterBytes: budget.HighWater()}
+	// Threads contend for one device: each active thread sees its
+	// share of channels and bandwidth, so queueing shows up inside the
+	// per-thread clocks.
+	numBatches := (len(targets) + cfg.BatchSize - 1) / cfg.BatchSize
+	active := cfg.Threads
+	if numBatches < active {
+		active = numBatches
+	}
+	w := batchSim{ds: ds, edges: edges, dev: dev.Share(active), cfg: &cfg}
+	for bi := 0; bi*cfg.BatchSize < len(targets); bi++ {
+		lo := bi * cfg.BatchSize
+		hi := lo + cfg.BatchSize
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		p := &pipes[bi%cfg.Threads]
+		w.run(p, targets[lo:hi], sample.Mix(sc.WorkloadSeed, uint64(bi+1)))
+	}
+	res.DeviceBytes = w.devBytes
+	res.DeviceOps = w.devOps
+	res.FullFetchBytes = w.fullBytes
+	res.Sampled = w.sampled
+	var slowest float64
+	for i := range pipes {
+		pipes[i].WaitIO()
+		if t := pipes[i].Now(); t > slowest {
+			slowest = t
+		}
+	}
+	res.ModeledSeconds = slowest
+	if floor := dev.FloorSeconds(w.devOps, w.devBytes); floor > res.ModeledSeconds {
+		res.ModeledSeconds = floor
+	}
+	return res
+}
+
+// batchSim walks mini-batches exactly like the real worker —
+// offset-range lookup, Floyd fanout draws, run coalescing, I/O groups
+// of RingSize, sort+dedup frontiers — but charges costs instead of
+// performing reads.
+type batchSim struct {
+	ds    *storage.Dataset
+	edges []uint32
+	dev   *device.Model
+	cfg   *Config
+
+	devBytes, devOps, fullBytes, sampled int64
+
+	frontier []uint32
+	gathered []uint32
+	idxs     []int
+}
+
+func (w *batchSim) run(p *simtime.Pipeline, targets []uint32, seed uint64) {
+	cfg := w.cfg
+	rng := sample.NewRNG(seed)
+	w.frontier = append(w.frontier[:0], targets...)
+	for _, fanout := range cfg.Fanouts {
+		w.gathered = w.gathered[:0]
+		// One I/O group accumulates until the ring is full, then the
+		// group is submitted: its preparation cost lands on the CPU
+		// clock, its device time on the I/O horizon. The synchronous
+		// ablation waits out the horizon after every group; the
+		// asynchronous pipeline keeps preparing the next group while
+		// the previous one completes (Fig 3b).
+		var gOps, gNodes int64
+		var gBytes, gEntries int64
+		flush := func() {
+			if gOps == 0 {
+				return
+			}
+			prep := float64(gNodes)*simrun.CPUTargetSec +
+				float64(gEntries)*simrun.CPUSampleEntrySec +
+				float64(gOps)*simrun.CPUPrepOpSec
+			p.Compute(prep)
+			p.Dispatch(w.dev.GroupSeconds(gOps, gBytes))
+			if !cfg.AsyncPipeline {
+				p.WaitIO()
+			}
+			p.Compute(float64(gOps) * simrun.CPUCompleteOpSec)
+			w.devOps += gOps
+			w.devBytes += gBytes
+			gOps, gNodes, gBytes, gEntries = 0, 0, 0, 0
+		}
+		for _, v := range w.frontier {
+			st, en := w.ds.Range(v)
+			deg := int(en - st)
+			if deg == 0 {
+				continue
+			}
+			k := fanout
+			if deg < k {
+				k = deg
+			}
+			listBytes := int64(deg) * storage.EntryBytes
+			w.fullBytes += listBytes
+			w.idxs = sample.Floyd(&rng, deg, k, w.idxs[:0])
+			// The real worker sorts the picks; for run counting only
+			// adjacency matters, and for neighbor identity order is
+			// irrelevant (the frontier is re-sorted anyway).
+			if cfg.OffsetSampling {
+				gOps += int64(countRuns(w.idxs))
+				gBytes += int64(k) * storage.EntryBytes
+			} else {
+				gOps += w.dev.SplitOps(listBytes)
+				gBytes += listBytes
+			}
+			gNodes++
+			gEntries += int64(k)
+			w.sampled += int64(k)
+			for _, idx := range w.idxs {
+				w.gathered = append(w.gathered, w.edges[st+int64(idx)])
+			}
+			if gOps >= int64(cfg.RingSize) {
+				flush()
+			}
+		}
+		flush()
+		// Layer barrier: the frontier build needs every completion.
+		p.WaitIO()
+		p.Compute(float64(len(w.gathered)) * simrun.CPUSortEntrySec)
+		w.frontier = append(w.frontier[:0], sample.SortDedup(w.gathered)...)
+	}
+}
+
+// countRuns returns how many coalesced reads a node's picked entry
+// indices need: adjacent picks merge into one request.
+func countRuns(idxs []int) int {
+	if len(idxs) == 0 {
+		return 0
+	}
+	// idxs is in Floyd insertion order; count runs on the sorted view.
+	// Fanouts are tiny, so an insertion-sorted copy on the stack is
+	// cheaper than sorting the caller's slice twice.
+	var buf [64]int
+	s := buf[:0]
+	if len(idxs) > len(buf) {
+		s = make([]int, 0, len(idxs))
+	}
+	for _, x := range idxs {
+		i := len(s)
+		s = append(s, x)
+		for i > 0 && s[i-1] > x {
+			s[i] = s[i-1]
+			i--
+		}
+		s[i] = x
+	}
+	runs := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"syscall"
+
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// Sampler is the real RingSampler engine over an opened dataset. It is
+// cheap and immutable; per-thread state lives in Workers.
+type Sampler struct {
+	ds      *storage.Dataset
+	cfg     Config
+	backend uring.Backend
+}
+
+// New validates the configuration and binds the engine to a ring
+// backend. BackendIOURing fails fast here when the environment doesn't
+// support it (callers gate on uring.Probe()).
+func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if backend == uring.BackendIOURing && !uring.Probe() {
+		return nil, fmt.Errorf("core: io_uring backend requested but unavailable; use %s", uring.BackendPool)
+	}
+	return &Sampler{ds: ds, cfg: cfg, backend: backend}, nil
+}
+
+// Config returns the engine configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// Worker is one sampling thread (paper Fig 3a): a private ring pair,
+// private RNG, and private offset/neighbor/target workspaces. Workers
+// share nothing, so an epoch runs them with zero synchronization.
+// A Worker is not safe for concurrent use.
+type Worker struct {
+	s    *Sampler
+	id   int
+	ring uring.Ring
+	rng  sample.RNG
+
+	// Workspaces, reused across batches (paper §3.1).
+	runs     []ioRun  // offset workspace: coalesced read requests
+	frontier []uint32 // target workspace
+	gathered []uint32 // neighbor accumulation for frontier building
+	buf      []byte   // neighbor workspace backing the reads
+	idxs     []int    // fanout-index scratch
+	sel      []int32  // full-fetch mode: chosen in-list indices
+	nodePos  []int64  // full-fetch mode: per-node buffer position
+}
+
+// ioRun is one coalesced read: `entries` consecutive edge-file entries
+// starting at entry index `entryStart`, landing at byte `bufPos` of
+// the layer buffer.
+type ioRun struct {
+	entryStart int64
+	entries    int32
+	bufPos     int64
+}
+
+// NewWorker creates worker `id` with its own ring. Distinct ids sample
+// independent streams; equal (Seed, id) pairs sample bit-identically.
+func (s *Sampler) NewWorker(id int) (*Worker, error) {
+	ring, err := uring.New(s.backend, s.ds.File(), s.cfg.RingSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		s:    s,
+		id:   id,
+		ring: ring,
+		rng:  sample.NewRNG(sample.Mix(s.cfg.Seed, uint64(id))),
+	}, nil
+}
+
+// Close releases the worker's ring.
+func (w *Worker) Close() error { return w.ring.Close() }
+
+// SampleBatch samples the configured fanout layers for one mini-batch
+// of target nodes and returns the per-layer results. All sampling
+// decisions are made before any I/O is issued; what crosses the
+// storage boundary depends on the config's OffsetSampling switch.
+func (w *Worker) SampleBatch(targets []uint32) (*Batch, error) {
+	cfg := &w.s.cfg
+	batch := &Batch{Layers: make([]Layer, len(cfg.Fanouts))}
+	w.frontier = append(w.frontier[:0], targets...)
+	for li, fanout := range cfg.Fanouts {
+		layer := &batch.Layers[li]
+		if cfg.OffsetSampling {
+			if err := w.sampleLayerOffset(layer, fanout); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := w.sampleLayerFull(layer, fanout); err != nil {
+				return nil, err
+			}
+		}
+		// Between-layer frontier: sort+dedup the sampled neighbors
+		// (paper §2.1). The dedup'd set becomes the next layer's
+		// targets.
+		w.gathered = append(w.gathered[:0], layer.Neighbors...)
+		w.frontier = append(w.frontier[:0], sample.SortDedup(w.gathered)...)
+	}
+	return batch, nil
+}
+
+// sampleLayerOffset is the paper's path: draw fanout entry indices
+// from each node's offset range, coalesce adjacent picks into runs,
+// and read exactly those entries.
+func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
+	ds := w.s.ds
+	layer.Targets = append([]uint32(nil), w.frontier...)
+	layer.Starts = make([]int64, len(w.frontier)+1)
+	w.runs = w.runs[:0]
+	var total int64
+	for i, v := range w.frontier {
+		layer.Starts[i] = total
+		st, en := ds.Range(v)
+		deg := int(en - st)
+		if deg == 0 {
+			continue
+		}
+		k := fanout
+		if deg < k {
+			k = deg
+		}
+		w.idxs = sample.Floyd(&w.rng, deg, k, w.idxs[:0])
+		sort.Ints(w.idxs)
+		for _, idx := range w.idxs {
+			abs := st + int64(idx)
+			if n := len(w.runs); n > 0 &&
+				w.runs[n-1].entryStart+int64(w.runs[n-1].entries) == abs {
+				w.runs[n-1].entries++
+			} else {
+				w.runs = append(w.runs, ioRun{entryStart: abs, entries: 1, bufPos: total * storage.EntryBytes})
+			}
+			total++
+		}
+	}
+	layer.Starts[len(w.frontier)] = total
+	w.buf = grow(w.buf, total*storage.EntryBytes)
+	if err := w.issue(w.runs, w.buf); err != nil {
+		return err
+	}
+	// Runs were planned in frontier order with sequential buffer
+	// positions, so the buffer is exactly the concatenated sampled
+	// neighbors.
+	layer.Neighbors = decodeU32(w.buf[:total*storage.EntryBytes])
+	return nil
+}
+
+// sampleLayerFull is the ablation baseline (prior out-of-core
+// systems, §2.2.1): fetch every node's complete neighbor list, then
+// sample in memory. The fanout indices are drawn identically to the
+// offset path — the two modes produce the same sample sets and differ
+// only in what crosses the storage boundary.
+func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
+	ds := w.s.ds
+	layer.Targets = append([]uint32(nil), w.frontier...)
+	layer.Starts = make([]int64, len(w.frontier)+1)
+	w.runs = w.runs[:0]
+	w.sel = w.sel[:0]
+	w.nodePos = w.nodePos[:0]
+	var total, listBytes int64
+	for i, v := range w.frontier {
+		layer.Starts[i] = total
+		w.nodePos = append(w.nodePos, listBytes)
+		st, en := ds.Range(v)
+		deg := int(en - st)
+		if deg == 0 {
+			continue
+		}
+		k := fanout
+		if deg < k {
+			k = deg
+		}
+		w.idxs = sample.Floyd(&w.rng, deg, k, w.idxs[:0])
+		sort.Ints(w.idxs)
+		for _, idx := range w.idxs {
+			w.sel = append(w.sel, int32(idx))
+		}
+		total += int64(k)
+		w.runs = append(w.runs, ioRun{entryStart: st, entries: int32(deg), bufPos: listBytes})
+		listBytes += int64(deg) * storage.EntryBytes
+	}
+	layer.Starts[len(w.frontier)] = total
+	w.buf = grow(w.buf, listBytes)
+	if err := w.issue(w.runs, w.buf); err != nil {
+		return err
+	}
+	layer.Neighbors = make([]uint32, 0, total)
+	si := 0
+	for i := range layer.Targets {
+		k := int(layer.Starts[i+1] - layer.Starts[i])
+		pos := w.nodePos[i]
+		for _, idx := range w.sel[si : si+k] {
+			off := pos + int64(idx)*storage.EntryBytes
+			layer.Neighbors = append(layer.Neighbors, leU32(w.buf[off:]))
+		}
+		si += k
+	}
+	return nil
+}
+
+// issue drives the planned reads through the worker's ring. With the
+// asynchronous pipeline (paper Fig 3b) it keeps preparing and
+// submitting further requests while earlier completions drain; the
+// synchronous ablation waits for every in-flight request before
+// staging more.
+func (w *Worker) issue(runs []ioRun, buf []byte) error {
+	async := w.s.cfg.AsyncPipeline
+	next, inflight, completed := 0, 0, 0
+	for completed < len(runs) {
+		staged := 0
+		for next < len(runs) {
+			r := &runs[next]
+			n := int64(r.entries) * storage.EntryBytes
+			if !w.ring.PrepRead(uint64(next), r.entryStart*storage.EntryBytes, buf[r.bufPos:r.bufPos+n]) {
+				break
+			}
+			next++
+			staged++
+		}
+		if staged > 0 {
+			if _, err := w.ring.Submit(); err != nil {
+				return err
+			}
+			inflight += staged
+		}
+		min := 1
+		if !async {
+			min = inflight
+		}
+		cqes, err := w.ring.Wait(min)
+		if err != nil {
+			return err
+		}
+		for _, c := range cqes {
+			r := &runs[c.ID]
+			want := int32(r.entries) * storage.EntryBytes
+			if c.Res < 0 {
+				return fmt.Errorf("core: read of %d entries at entry %d failed: %w",
+					r.entries, r.entryStart, syscall.Errno(-c.Res))
+			}
+			if c.Res != want {
+				return fmt.Errorf("core: short read at entry %d: got %d bytes, want %d",
+					r.entryStart, c.Res, want)
+			}
+			completed++
+		}
+		inflight -= len(cqes)
+	}
+	return nil
+}
+
+func grow(buf []byte, n int64) []byte {
+	if int64(cap(buf)) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+func decodeU32(b []byte) []uint32 {
+	out := make([]uint32, len(b)/storage.EntryBytes)
+	for i := range out {
+		out[i] = leU32(b[i*storage.EntryBytes:])
+	}
+	return out
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,90 @@
+// Package device models the storage hardware the cross-system
+// experiments charge their I/O against. The model is deliberately
+// simple — per-group latency, per-op channel service, aggregate
+// bandwidth — because the paper's comparative figures depend on how
+// much data each system moves and in what batch shape, not on NVMe
+// microarchitecture (DESIGN.md §1).
+package device
+
+import "math"
+
+// Model is a storage device for modeled runs.
+type Model struct {
+	Name string
+	// LatencySec is the fixed latency charged once per submitted I/O
+	// group (submission syscall + device turnaround).
+	LatencySec float64
+	// PerOpSec is the service time of one request on one channel.
+	PerOpSec float64
+	// Channels is the device's internal parallelism; ops in a group
+	// spread across channels.
+	Channels int
+	// BytesPerSec caps aggregate data movement.
+	BytesPerSec float64
+	// MaxTransfer is the largest single request; bigger reads split.
+	MaxTransfer int64
+}
+
+// NVMe returns the modeled datacenter NVMe drive used by every
+// experiment: ~80us turnaround, 100k IOPS per channel across 16
+// channels (1.6M IOPS aggregate), 3.2 GB/s, 128 KiB max transfer.
+func NVMe() *Model {
+	return &Model{
+		Name:        "nvme",
+		LatencySec:  80e-6,
+		PerOpSec:    10e-6,
+		Channels:    16,
+		BytesPerSec: 3.2e9,
+		MaxTransfer: 128 << 10,
+	}
+}
+
+// Share returns a copy of the model with 1/n of the channels and
+// bandwidth: the per-actor view of a device under n concurrent
+// actors. Sequentially simulated threads charge their I/O against
+// their share, so device contention lands inside each thread's clock
+// instead of as an after-the-fact clamp (which would erase schedule
+// differences like sync-vs-async).
+func (m *Model) Share(n int) *Model {
+	if n <= 1 {
+		return m
+	}
+	s := *m
+	s.Channels = m.Channels / n
+	if s.Channels < 1 {
+		s.Channels = 1
+	}
+	s.BytesPerSec = m.BytesPerSec * float64(s.Channels) / float64(m.Channels)
+	return &s
+}
+
+// GroupSeconds returns the completion time of a group of ops totalling
+// the given bytes, submitted together: one latency plus the larger of
+// the channel-service bound and the bandwidth bound.
+func (m *Model) GroupSeconds(ops int64, bytes int64) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	service := float64(ops) * m.PerOpSec / float64(m.Channels)
+	bw := float64(bytes) / m.BytesPerSec
+	return m.LatencySec + math.Max(service, bw)
+}
+
+// FloorSeconds is the device-capacity lower bound for an entire run:
+// no schedule can finish the given aggregate ops and bytes faster.
+// Modeled multi-threaded epochs are clamped to it (DESIGN.md's
+// virtual-time correctness note).
+func (m *Model) FloorSeconds(ops int64, bytes int64) float64 {
+	service := float64(ops) * m.PerOpSec / float64(m.Channels)
+	bw := float64(bytes) / m.BytesPerSec
+	return math.Max(service, bw)
+}
+
+// SplitOps returns how many device requests a contiguous read of n
+// bytes costs under the MaxTransfer limit.
+func (m *Model) SplitOps(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + m.MaxTransfer - 1) / m.MaxTransfer
+}

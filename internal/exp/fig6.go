@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/device"
+	"ringsampler/internal/sample"
+)
+
+// Milestone is one point of the Figure 6 latency CDF: by TimeSec,
+// Count requests (the Quantile fraction) had completed.
+type Milestone struct {
+	Quantile float64
+	Count    int
+	TimeSec  float64
+}
+
+// Fig6Result is the on-demand inference sampling workload: a stream of
+// single-target requests (mini-batch size 1) served sequentially by
+// one modeled worker, with completion-time milestones at P50/P90/P95/
+// P99 (paper §4.4).
+type Fig6Result struct {
+	Requests   int
+	Milestones []Milestone
+}
+
+var fig6Quantiles = []float64{0.50, 0.90, 0.95, 0.99}
+
+// Fig6 prepares the scaled ogbn-papers dataset under root and runs the
+// inference workload with `requests` single-node requests.
+func Fig6(root string, o Options, requests int) (*Fig6Result, error) {
+	if requests <= 0 {
+		return nil, fmt.Errorf("exp: fig6 needs a positive request count, got %d", requests)
+	}
+	p, err := Prepare(root, "ogbn-papers", o.Divisor, false)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := p.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = 1
+	cfg.Threads = 1
+	dev := device.NVMe()
+	wl := sample.NewRNG(sample.Mix(6, 0))
+	numNodes := uint32(ds.NumNodes())
+	completions := make([]float64, requests)
+	var clock float64
+	for i := 0; i < requests; i++ {
+		sc := core.SimConfig{
+			Config:       cfg,
+			ScaleDivisor: o.Divisor,
+			Targets:      1,
+			WorkloadSeed: sample.Mix(uint64(i+1), uint64(wl.Uint32n(numNodes))),
+		}
+		r := core.RunSim(ds, dev, sc)
+		if r.Err != nil {
+			return nil, fmt.Errorf("exp: fig6 request %d: %w", i, r.Err)
+		}
+		clock += r.ModeledSeconds
+		completions[i] = clock
+	}
+	res := &Fig6Result{Requests: requests}
+	for _, q := range fig6Quantiles {
+		idx := int(math.Ceil(q*float64(requests))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		res.Milestones = append(res.Milestones, Milestone{
+			Quantile: q,
+			Count:    idx + 1,
+			TimeSec:  completions[idx],
+		})
+	}
+	return res, nil
+}

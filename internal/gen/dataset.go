@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ringsampler/internal/graph"
+	"ringsampler/internal/storage"
+)
+
+// Generate builds a complete on-disk dataset in dir: stream a synthetic
+// graph (kind "rmat" or "uniform"), externally sort it by source, and
+// write the edge file + offset index + manifest. The whole pipeline is
+// streaming, so graphs larger than memory generate fine. Deterministic
+// for a fixed (kind, nodes, edges, seed).
+func Generate(dir, name, kind string, nodes, edges int64, seed uint64) (graph.Manifest, error) {
+	var man graph.Manifest
+	tmpDir := filepath.Join(dir, ".extsort")
+	sorter, err := graph.NewExternalSorter(tmpDir, 1<<20)
+	if err != nil {
+		return man, err
+	}
+	defer os.RemoveAll(tmpDir)
+
+	var addErr error
+	add := func(src, dst uint32) {
+		if addErr == nil {
+			addErr = sorter.Add(graph.Edge{Src: src, Dst: dst})
+		}
+	}
+	switch kind {
+	case "rmat":
+		err = RMAT(nodes, edges, seed, RMATParams, add)
+	case "uniform":
+		err = Uniform(nodes, edges, seed, add)
+	default:
+		return man, fmt.Errorf("gen: unknown graph kind %q (want rmat or uniform)", kind)
+	}
+	if err != nil {
+		return man, err
+	}
+	if addErr != nil {
+		return man, addErr
+	}
+
+	w, err := storage.NewWriter(dir, name, nodes)
+	if err != nil {
+		return man, err
+	}
+	if err := sorter.Merge(func(e graph.Edge) error {
+		return w.Add(e.Src, e.Dst)
+	}); err != nil {
+		return man, err
+	}
+	return w.Finish()
+}

@@ -1,0 +1,62 @@
+// Package graph holds the dataset-independent graph plumbing: edge
+// types, the dataset manifest, and the out-of-core external merge sort
+// that turns a generator's edge stream into the source-grouped order
+// the on-disk layout requires.
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Edge is one directed edge. Node IDs are uint32 throughout the repo
+// (scaled graphs stay below 2^32 nodes; the paper's offset index is
+// what carries the 64-bit addressing).
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Manifest describes an on-disk dataset. CreatedAt is left at the zero
+// time by the deterministic build path so that regenerating a dataset
+// with the same seed produces byte-identical files.
+type Manifest struct {
+	Version   int       `json:"version"`
+	Name      string    `json:"name"`
+	NumNodes  int64     `json:"numNodes"`
+	NumEdges  int64     `json:"numEdges"`
+	BinBytes  int64     `json:"binBytes"`
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// LoadManifest reads and decodes a manifest file.
+func LoadManifest(path string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, fmt.Errorf("graph: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("graph: decode manifest %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return m, fmt.Errorf("graph: manifest %s has version %d, want %d", path, m.Version, ManifestVersion)
+	}
+	return m, nil
+}
+
+// Save writes the manifest as indented JSON.
+func (m Manifest) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("graph: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("graph: write manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package memctl is the repo's cgroup substitute: an explicit memory
+// budget every modeled system allocates through. Exceeding the budget
+// yields ErrOOM — the modeled equivalent of the kernel OOM-killing a
+// paper baseline (Figures 4/5) — and the high-water mark feeds the
+// memory-proportionality claims.
+package memctl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOOM marks an allocation that exceeded the budget.
+var ErrOOM = errors.New("memctl: out of memory")
+
+// Budget is a memory accountant. A limit of 0 means unlimited. Not
+// safe for concurrent use; modeled runs are single-goroutine.
+type Budget struct {
+	limit int64
+	used  int64
+	high  int64
+}
+
+// New returns a budget with the given byte limit (0 = unlimited).
+func New(limit int64) *Budget {
+	return &Budget{limit: limit}
+}
+
+// Charge allocates n bytes, failing with ErrOOM if the budget would be
+// exceeded. On failure nothing is charged.
+func (b *Budget) Charge(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memctl: negative charge %d", n)
+	}
+	if b.limit > 0 && b.used+n > b.limit {
+		return fmt.Errorf("%w: %d used + %d requested > %d limit", ErrOOM, b.used, n, b.limit)
+	}
+	b.used += n
+	if b.used > b.high {
+		b.high = b.used
+	}
+	return nil
+}
+
+// Release frees n bytes.
+func (b *Budget) Release(n int64) {
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
+}
+
+// Used returns the current charge.
+func (b *Budget) Used() int64 { return b.used }
+
+// HighWater returns the maximum charge ever held.
+func (b *Budget) HighWater() int64 { return b.high }
+
+// Limit returns the configured limit (0 = unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Remaining returns how much can still be charged, or -1 if unlimited.
+func (b *Budget) Remaining() int64 {
+	if b.limit <= 0 {
+		return -1
+	}
+	return b.limit - b.used
+}
+
+// IsOOM reports whether err is (or wraps) an out-of-memory failure.
+func IsOOM(err error) bool { return errors.Is(err, ErrOOM) }

@@ -1,0 +1,46 @@
+package memctl
+
+import "testing"
+
+func TestBudgetChargeRelease(t *testing.T) {
+	b := New(100)
+	if err := b.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(40); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 100 || b.HighWater() != 100 || b.Remaining() != 0 {
+		t.Fatalf("used=%d high=%d remaining=%d", b.Used(), b.HighWater(), b.Remaining())
+	}
+	err := b.Charge(1)
+	if err == nil {
+		t.Fatal("over-budget charge accepted")
+	}
+	if !IsOOM(err) {
+		t.Fatalf("over-budget error not an OOM: %v", err)
+	}
+	b.Release(50)
+	if b.Used() != 50 || b.HighWater() != 100 {
+		t.Fatalf("after release: used=%d high=%d", b.Used(), b.HighWater())
+	}
+	if err := b.Charge(50); err != nil {
+		t.Fatalf("charge after release: %v", err)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	b := New(0)
+	if err := b.Charge(1 << 50); err != nil {
+		t.Fatal(err)
+	}
+	if b.Limit() != 0 {
+		t.Fatalf("Limit() = %d, want 0", b.Limit())
+	}
+}
+
+func TestIsOOMOnOtherErrors(t *testing.T) {
+	if IsOOM(nil) {
+		t.Fatal("IsOOM(nil) = true")
+	}
+}

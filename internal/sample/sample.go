@@ -1,0 +1,116 @@
+// Package sample provides the seeded sampling primitives shared by the
+// RingSampler engine and the modeled systems: a fast xorshift RNG,
+// Floyd's without-replacement fanout selection, and the sort+dedup used
+// to build between-layer frontiers (paper §2.1, Fig 1).
+//
+// Everything here is deterministic for a fixed seed, which is what lets
+// tests assert bit-identical sample sets and lets the modeled
+// experiments reproduce exactly.
+package sample
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// RNG is a seeded xorshift64* generator. The zero value is not usable;
+// construct with NewRNG. It is deliberately a value type so workers can
+// embed private copies with no sharing.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator for the given seed. A zero seed is
+// remapped to a fixed non-zero constant (xorshift has an absorbing
+// zero state).
+func NewRNG(seed uint64) RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return RNG{state: seed}
+}
+
+// Mix combines a seed with a stream index (batch number, thread id,
+// request id ...) into an independent-looking seed, splitmix64-style.
+func Mix(seed, stream uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0. Uses the
+// fixed-point multiply reduction (no modulo bias worth caring about at
+// graph scales, no division).
+func (r *RNG) Intn(n int) int {
+	hi, _ := bits.Mul64(r.Next(), uint64(n))
+	return int(hi)
+}
+
+// Uint32n returns a uniform uint32 in [0, n). n must be > 0.
+func (r *RNG) Uint32n(n uint32) uint32 {
+	hi, _ := bits.Mul64(r.Next(), uint64(n))
+	return uint32(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Floyd appends k distinct integers drawn uniformly from [0, n) to out
+// and returns the extended slice, using Floyd's sampling algorithm
+// (O(k) draws, no allocation beyond out). If k >= n it appends all of
+// [0, n). The appended order is Floyd's insertion order, which is
+// deterministic for a fixed RNG state; callers that need sorted
+// indices sort the suffix themselves.
+//
+// Duplicate detection scans the appended suffix linearly: fanouts are
+// small (paper default max 20), so this beats a map by a wide margin.
+func Floyd(r *RNG, n, k int, out []int) []int {
+	if n <= 0 || k <= 0 {
+		return out
+	}
+	if k >= n {
+		for i := 0; i < n; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	base := len(out)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		dup := false
+		for _, v := range out[base:] {
+			if v == t {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			out = append(out, j)
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SortDedup sorts xs ascending and removes duplicates in place,
+// returning the shortened slice. This is the between-layer frontier
+// build of paper §2.1: sampled neighbors of layer l become the unique
+// target set of layer l+1.
+func SortDedup(xs []uint32) []uint32 {
+	slices.Sort(xs)
+	return slices.Compact(xs)
+}

@@ -1,0 +1,96 @@
+package sample
+
+import "testing"
+
+func TestFloydWithoutReplacementInRange(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, n := range []int{1, 5, 64, 1000} {
+			for _, k := range []int{0, 1, n / 2, n, n + 3} {
+				r := NewRNG(seed)
+				got := Floyd(&r, n, k, nil)
+				want := k
+				if want > n {
+					want = n
+				}
+				if len(got) != want {
+					t.Fatalf("seed %d n=%d k=%d: got %d picks, want %d", seed, n, k, len(got), want)
+				}
+				seen := make(map[int]bool, len(got))
+				for _, idx := range got {
+					if idx < 0 || idx >= n {
+						t.Fatalf("seed %d n=%d k=%d: pick %d out of range", seed, n, k, idx)
+					}
+					if seen[idx] {
+						t.Fatalf("seed %d n=%d k=%d: pick %d repeated", seed, n, k, idx)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+}
+
+func TestFloydDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		r1 := NewRNG(seed)
+		r2 := NewRNG(seed)
+		for trial := 0; trial < 10; trial++ {
+			a := Floyd(&r1, 100, 15, nil)
+			b := Floyd(&r2, 100, 15, nil)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: lengths differ", seed)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d trial %d: pick %d differs: %d vs %d", seed, trial, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortDedup(t *testing.T) {
+	in := []uint32{9, 3, 3, 7, 0, 9, 9, 1, 7}
+	got := SortDedup(append([]uint32(nil), in...))
+	want := []uint32{0, 1, 3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := SortDedup(nil); len(out) != 0 {
+		t.Fatalf("SortDedup(nil) = %v, want empty", out)
+	}
+}
+
+func TestRNGDeterministicAndMixStreams(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if Mix(7, 0) == Mix(7, 1) {
+		t.Fatal("Mix streams collide")
+	}
+	// Zero seed must still produce a working generator.
+	z := NewRNG(0)
+	if z.Next() == 0 && z.Next() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		if v := r.Uint32n(13); v >= 13 {
+			t.Fatalf("Uint32n(13) = %d out of range", v)
+		}
+	}
+}

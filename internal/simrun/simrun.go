@@ -1,0 +1,36 @@
+// Package simrun holds the shared unit helpers and calibrated CPU cost
+// constants of the modeled experiments. Memory budgets are expressed
+// in paper-scale bytes (a "4 GB cgroup" is GBytes(4)); the scale
+// divisor of a run maps graph-proportional structures back to paper
+// scale before charging them (DESIGN.md §1).
+package simrun
+
+// GBytes converts paper-scale gigabytes to bytes.
+func GBytes(gb float64) int64 { return int64(gb * (1 << 30)) }
+
+// MBytes converts paper-scale megabytes to bytes.
+func MBytes(mb float64) int64 { return int64(mb * (1 << 20)) }
+
+// CPU cost constants for the modeled sampler, in seconds. They are
+// calibrated to commodity-server magnitudes: drawing a fanout index is
+// a few RNG multiplies plus a duplicate scan, preparing an SQE is a
+// 64-byte fill plus bookkeeping, completion harvesting is a shared-
+// memory poll per CQE, and frontier building is a sort touch per
+// entry. The async-vs-sync pipeline gap (Fig 3b) emerges from these:
+// preparation work is the term the asynchronous design overlaps with
+// device time.
+const (
+	// CPUSampleEntrySec: choose one fanout index (Floyd draw + dedup
+	// scan) and later copy the completed entry out.
+	CPUSampleEntrySec = 120e-9
+	// CPUPrepOpSec: stage one read request (SQE fill, offset math,
+	// coalescing check).
+	CPUPrepOpSec = 150e-9
+	// CPUCompleteOpSec: harvest one completion from the CQ.
+	CPUCompleteOpSec = 80e-9
+	// CPUSortEntrySec: per-entry cost of the between-layer sort+dedup.
+	CPUSortEntrySec = 40e-9
+	// CPUTargetSec: per-frontier-node fixed cost (offset lookup,
+	// degree clamp).
+	CPUTargetSec = 60e-9
+)

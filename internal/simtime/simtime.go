@@ -1,0 +1,64 @@
+// Package simtime provides the small virtual-time pieces the modeled
+// experiments share: per-actor clocks that advance by charged costs,
+// with an explicit in-flight horizon for modeling overlapped I/O.
+// Virtual time is float64 seconds — one coherent unit across CPU
+// costs, device models and reported results, deterministic by
+// construction.
+package simtime
+
+// Clock is one actor's virtual clock (a sampler thread, a device
+// stream). The zero value starts at t=0.
+type Clock struct {
+	t float64
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() float64 { return c.t }
+
+// Advance moves the clock forward by d seconds (negative d is ignored:
+// virtual time never rewinds).
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.t += d
+	}
+}
+
+// AdvanceTo moves the clock to at least t.
+func (c *Clock) AdvanceTo(t float64) {
+	if t > c.t {
+		c.t = t
+	}
+}
+
+// Pipeline models one actor overlapping compute with asynchronous I/O:
+// Compute charges CPU work on the clock, Dispatch starts an I/O whose
+// completion lands on a single ordered horizon (one device queue per
+// actor — exactly the per-thread ring of the engine), and Drain waits
+// for everything outstanding.
+type Pipeline struct {
+	cpu    Clock
+	ioDone float64
+}
+
+// Compute charges d seconds of CPU work.
+func (p *Pipeline) Compute(d float64) { p.cpu.Advance(d) }
+
+// Dispatch submits an I/O taking d seconds of device time. The I/O
+// starts when both the CPU has issued it and the previous I/O on this
+// actor's queue has finished (in-order completion, like a ring with
+// ordered harvesting).
+func (p *Pipeline) Dispatch(d float64) {
+	start := p.cpu.Now()
+	if p.ioDone > start {
+		start = p.ioDone
+	}
+	p.ioDone = start + d
+}
+
+// WaitIO blocks the CPU until all dispatched I/O has completed — the
+// synchronous pipeline calls this after every group, the asynchronous
+// pipeline only at layer barriers.
+func (p *Pipeline) WaitIO() { p.cpu.AdvanceTo(p.ioDone) }
+
+// Now returns the actor's CPU-side virtual time.
+func (p *Pipeline) Now() float64 { return p.cpu.Now() }

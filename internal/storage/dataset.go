@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Dataset is an opened on-disk graph: the manifest, the in-memory
+// offset index, and the edge file handle the sampler reads through.
+// The edge data itself stays on disk; LoadEdges pulls it into memory
+// only for the modeled experiments (which need closed-form access) and
+// caches it.
+//
+// Dataset is safe for concurrent read use: the offset index is
+// immutable after Open and reads go through (*os.File).ReadAt.
+type Dataset struct {
+	dir     string
+	man     Manifest
+	offsets []int64
+	f       *os.File
+
+	edgesOnce sync.Once
+	edges     []uint32
+	edgesErr  error
+}
+
+// Manifest re-exported to avoid forcing every caller to import graph.
+type Manifest = manifestAlias
+
+// Open validates and opens the dataset in dir. Validation is strict —
+// a truncated or inconsistent directory is rejected here rather than
+// surfacing as short reads mid-epoch.
+func Open(dir string) (*Dataset, error) {
+	man, err := loadManifest(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	if man.NumNodes <= 0 || man.NumEdges < 0 {
+		return nil, fmt.Errorf("storage: manifest %s has invalid counts (%d nodes, %d edges)", dir, man.NumNodes, man.NumEdges)
+	}
+	wantEdgeBytes := man.NumEdges * EntryBytes
+	if man.BinBytes != wantEdgeBytes {
+		return nil, fmt.Errorf("storage: manifest %s binBytes %d != numEdges*%d = %d", dir, man.BinBytes, EntryBytes, wantEdgeBytes)
+	}
+	edgePath := filepath.Join(dir, EdgesFile)
+	fi, err := os.Stat(edgePath)
+	if err != nil {
+		return nil, fmt.Errorf("storage: stat edge file: %w", err)
+	}
+	if fi.Size() != wantEdgeBytes {
+		return nil, fmt.Errorf("storage: edge file %s is %d bytes, manifest expects %d (truncated capture?)", edgePath, fi.Size(), wantEdgeBytes)
+	}
+	offPath := filepath.Join(dir, OffsetsFile)
+	offsets, err := readOffsets(offPath, man.NumNodes)
+	if err != nil {
+		return nil, err
+	}
+	if offsets[0] != 0 || offsets[man.NumNodes] != man.NumEdges {
+		return nil, fmt.Errorf("storage: offset index %s spans [%d,%d], want [0,%d]", offPath, offsets[0], offsets[man.NumNodes], man.NumEdges)
+	}
+	for v := int64(0); v < man.NumNodes; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("storage: offset index %s not monotone at node %d", offPath, v)
+		}
+	}
+	f, err := os.Open(edgePath)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open edge file: %w", err)
+	}
+	return &Dataset{dir: dir, man: man, offsets: offsets, f: f}, nil
+}
+
+func readOffsets(path string, numNodes int64) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read offset index: %w", err)
+	}
+	want := (numNodes + 1) * OffsetBytes
+	if int64(len(data)) != want {
+		return nil, fmt.Errorf("storage: offset index %s is %d bytes, want %d (truncated capture?)", path, len(data), want)
+	}
+	offsets := make([]int64, numNodes+1)
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(data[i*OffsetBytes:]))
+	}
+	return offsets, nil
+}
+
+// Dir returns the dataset directory.
+func (d *Dataset) Dir() string { return d.dir }
+
+// Manifest returns the dataset manifest.
+func (d *Dataset) Manifest() Manifest { return d.man }
+
+// NumNodes returns the node count.
+func (d *Dataset) NumNodes() int64 { return d.man.NumNodes }
+
+// NumEdges returns the edge count.
+func (d *Dataset) NumEdges() int64 { return d.man.NumEdges }
+
+// Range returns the half-open entry-index range of node v's neighbors
+// in the edge file (paper Fig 2). Byte offsets are index*EntryBytes.
+func (d *Dataset) Range(v uint32) (start, end int64) {
+	return d.offsets[v], d.offsets[v+1]
+}
+
+// Degree returns node v's out-degree.
+func (d *Dataset) Degree(v uint32) int64 {
+	return d.offsets[v+1] - d.offsets[v]
+}
+
+// File exposes the edge file for ring backends that read it directly.
+func (d *Dataset) File() *os.File { return d.f }
+
+// LoadEdges reads the whole edge file into memory (cached after the
+// first call). Only the modeled experiments use this; the real engine
+// never does.
+func (d *Dataset) LoadEdges() ([]uint32, error) {
+	d.edgesOnce.Do(func() {
+		data, err := os.ReadFile(filepath.Join(d.dir, EdgesFile))
+		if err != nil {
+			d.edgesErr = fmt.Errorf("storage: load edges: %w", err)
+			return
+		}
+		edges := make([]uint32, len(data)/EntryBytes)
+		for i := range edges {
+			edges[i] = binary.LittleEndian.Uint32(data[i*EntryBytes:])
+		}
+		d.edges = edges
+	})
+	return d.edges, d.edgesErr
+}
+
+// Close releases the edge file handle.
+func (d *Dataset) Close() error {
+	if d.f == nil {
+		return nil
+	}
+	err := d.f.Close()
+	d.f = nil
+	return err
+}

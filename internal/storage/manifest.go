@@ -1,0 +1,11 @@
+package storage
+
+import "ringsampler/internal/graph"
+
+// manifestAlias lets the rest of the repo say storage.Manifest while
+// the schema itself lives with the graph plumbing.
+type manifestAlias = graph.Manifest
+
+func loadManifest(path string) (graph.Manifest, error) {
+	return graph.LoadManifest(path)
+}

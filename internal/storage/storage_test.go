@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestDataset builds a 4-node dataset with a known adjacency:
+// node 0 -> {1,2,3}, node 1 -> {}, node 2 -> {0,3}, node 3 -> {2}.
+func writeTestDataset(t *testing.T, dir string) {
+	t.Helper()
+	w, err := NewWriter(dir, "tiny", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {2, 0}, {2, 3}, {3, 2}}
+	for _, e := range edges {
+		if err := w.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.NumEdges != 6 || man.BinBytes != 24 {
+		t.Fatalf("manifest counts wrong: %+v", man)
+	}
+}
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	writeTestDataset(t, dir)
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	wantDeg := []int64{3, 0, 2, 1}
+	for v, want := range wantDeg {
+		if got := ds.Degree(uint32(v)); got != want {
+			t.Fatalf("degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	edges, err := ds.LoadEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 2, 3, 0, 3, 2}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+	st, en := ds.Range(2)
+	if st != 3 || en != 5 {
+		t.Fatalf("Range(2) = [%d,%d), want [3,5)", st, en)
+	}
+}
+
+func TestWriterRejectsUnsortedAndOutOfRange(t *testing.T) {
+	w, err := NewWriter(t.TempDir(), "bad", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(1, 1); err == nil {
+		t.Fatal("out-of-order source accepted")
+	}
+	if err := w.Add(2, 9); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestOpenRejectsTruncatedFiles(t *testing.T) {
+	for _, victim := range []string{EdgesFile, OffsetsFile} {
+		dir := t.TempDir()
+		writeTestDataset(t, dir)
+		path := filepath.Join(dir, victim)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir); err == nil {
+			t.Fatalf("Open accepted truncated %s", victim)
+		}
+	}
+}
+
+func TestOpenRejectsManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	writeTestDataset(t, dir)
+	man, err := loadManifest(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.NumEdges++
+	man.BinBytes += EntryBytes
+	if err := man.Save(filepath.Join(dir, ManifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted dataset with wrong manifest counts")
+	}
+}

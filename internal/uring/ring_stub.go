@@ -1,0 +1,16 @@
+//go:build !linux
+
+package uring
+
+import (
+	"fmt"
+	"os"
+)
+
+// io_uring is Linux-only; other platforms always use the pool backend.
+
+func probe() bool { return false }
+
+func newIOURing(f *os.File, entries int) (Ring, error) {
+	return nil, fmt.Errorf("uring: io_uring is linux-only (use %s)", BackendPool)
+}

@@ -1,0 +1,104 @@
+// Package uring is the submission/completion ring abstraction the
+// RingSampler engine is written against. Three backends implement it:
+//
+//   - BackendIOURing: a from-scratch Linux io_uring binding (raw
+//     io_uring_setup/io_uring_enter syscalls + mmap'd SQ/CQ rings, no
+//     cgo, no liburing). The paper's real I/O path.
+//   - BackendPool: a portable pread worker pool with the same batched
+//     SQ/CQ semantics. Always available; this is what keeps the engine
+//     running on non-Linux platforms and inside seccomp sandboxes.
+//   - BackendSim: a deterministic synchronous backend (reads happen at
+//     Submit, completions drain FIFO) for reproducible tests.
+//
+// All backends share the io_uring shape deliberately: requests are
+// prepared into a bounded submission queue, published in one Submit,
+// and harvested as a batch of completions — the asynchronous group
+// pipeline of paper §3.2 depends on exactly these semantics.
+package uring
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Backend names a ring implementation.
+type Backend string
+
+const (
+	BackendIOURing Backend = "io_uring"
+	BackendPool    Backend = "pool"
+	BackendSim     Backend = "sim"
+)
+
+// CQE is one completion: the user-assigned request ID and the raw
+// result (bytes read, or a negated errno on failure — io_uring's
+// convention, kept across all backends).
+type CQE struct {
+	ID  uint64
+	Res int32
+}
+
+// Ring is a single-owner SQ/CQ pair. Rings are NOT safe for concurrent
+// use: the engine gives each worker thread a private ring (paper
+// Fig 3a), which is also what makes the real io_uring mapping sound.
+type Ring interface {
+	// PrepRead stages a read of len(buf) bytes at byte offset off into
+	// the submission queue. It returns false when the SQ is full or too
+	// many requests are in flight — the caller should Submit and/or
+	// Wait, then retry.
+	PrepRead(id uint64, off int64, buf []byte) bool
+	// Submit publishes all staged requests and returns how many were
+	// accepted.
+	Submit() (int, error)
+	// Wait blocks until at least min completions are available, then
+	// returns every completion currently available. min 0 polls. The
+	// returned slice is reused by the next Wait call.
+	Wait(min int) ([]CQE, error)
+	// Entries returns the submission-queue capacity.
+	Entries() int
+	// Close tears the ring down. In-flight requests are drained first.
+	Close() error
+}
+
+// DefaultEntries is the paper's default ring size.
+const DefaultEntries = 512
+
+// New opens a ring over f with the given SQ capacity (entries <= 0
+// selects DefaultEntries).
+func New(be Backend, f *os.File, entries int) (Ring, error) {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	switch be {
+	case BackendPool:
+		return newPool(f, entries), nil
+	case BackendSim:
+		return newSim(f, entries), nil
+	case BackendIOURing:
+		return newIOURing(f, entries)
+	default:
+		return nil, fmt.Errorf("uring: unknown backend %q", be)
+	}
+}
+
+var (
+	probeOnce sync.Once
+	probeOK   bool
+)
+
+// Probe reports whether the real io_uring backend works here: the
+// syscalls exist, the sandbox permits them, and the ring mmaps
+// succeed. It never panics and caches its result — sandboxes and older
+// kernels simply get false, and the engine falls back to BackendPool.
+func Probe() bool {
+	probeOnce.Do(func() {
+		defer func() {
+			if recover() != nil {
+				probeOK = false
+			}
+		}()
+		probeOK = probe()
+	})
+	return probeOK
+}

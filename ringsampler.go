@@ -1,0 +1,66 @@
+// Package ringsampler is the public surface of the RingSampler
+// reproduction: build or open an on-disk graph dataset, then sample
+// GraphSAGE-style neighborhoods through per-thread rings with
+// offset-based reads (paper: "RingSampler: GNN sampling on large-scale
+// graphs with io_uring", HotStorage '25).
+//
+//	err := ringsampler.GenerateDataset("data/g", "rmat", 100_000, 1_600_000, 1)
+//	ds, err := ringsampler.Open("data/g")
+//	defer ds.Close()
+//	s, err := ringsampler.NewSampler(ds, ringsampler.DefaultConfig())
+//	w, err := s.NewWorker(0)
+//	defer w.Close()
+//	batch, err := w.SampleBatch([]uint32{1, 2, 3})
+package ringsampler
+
+import (
+	"ringsampler/internal/core"
+	"ringsampler/internal/gen"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// Dataset is an opened on-disk graph (edge file + in-memory offset
+// index).
+type Dataset = storage.Dataset
+
+// Config configures the sampling engine.
+type Config = core.Config
+
+// Sampler is the engine; Worker is one sampling thread with a private
+// ring; Batch is one mini-batch's layered sample result.
+type (
+	Sampler = core.Sampler
+	Worker  = core.Worker
+	Batch   = core.Batch
+	Layer   = core.Layer
+)
+
+// DefaultConfig returns the paper's default configuration: fanouts
+// {20,15,10}, ring size 512, offset sampling and the asynchronous
+// pipeline enabled.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// GenerateDataset builds a synthetic dataset in dir: kind "rmat"
+// (skewed, paper-shaped) or "uniform", with the given node and edge
+// counts. Deterministic for a fixed seed; the preprocessing pipeline
+// (generate -> external sort -> edge file + offset index) is fully
+// out-of-core.
+func GenerateDataset(dir, kind string, nodes, edges int64, seed uint64) error {
+	_, err := gen.Generate(dir, kind, kind, nodes, edges, seed)
+	return err
+}
+
+// Open opens and validates a dataset directory.
+func Open(dir string) (*Dataset, error) { return storage.Open(dir) }
+
+// NewSampler binds the engine to ds using the best ring backend
+// available: real io_uring when the kernel and sandbox allow it, the
+// portable pread pool otherwise.
+func NewSampler(ds *Dataset, cfg Config) (*Sampler, error) {
+	be := uring.BackendPool
+	if uring.Probe() {
+		be = uring.BackendIOURing
+	}
+	return core.New(ds, cfg, be)
+}

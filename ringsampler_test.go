@@ -1,0 +1,76 @@
+package ringsampler
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEndToEnd drives the public API exactly as the package doc shows:
+// generate, open, sample.
+func TestEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "g")
+	if err := GenerateDataset(dir, "rmat", 2_000, 30_000, 3); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	s, err := NewSampler(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	batch, err := w.SampleBatch([]uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Layers) != len(cfg.Fanouts) {
+		t.Fatalf("got %d layers, want %d", len(batch.Layers), len(cfg.Fanouts))
+	}
+	if batch.TotalSampled() == 0 {
+		t.Fatal("end-to-end sample was empty")
+	}
+}
+
+// TestGenerateDeterministicBytes: generating the same dataset twice
+// produces byte-identical files — the property the checked-in
+// benchmark data relies on.
+func TestGenerateDeterministicBytes(t *testing.T) {
+	root := t.TempDir()
+	a, b := filepath.Join(root, "a"), filepath.Join(root, "b")
+	if err := GenerateDataset(a, "rmat", 1_000, 10_000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateDataset(b, "rmat", 1_000, 10_000, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"edges.dat", "offsets.idx", "manifest.json"} {
+		fa, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fa, fb) {
+			t.Fatalf("%s differs between identical generations", name)
+		}
+	}
+}
+
+func TestGenerateRejectsUnknownKind(t *testing.T) {
+	if err := GenerateDataset(t.TempDir(), "smallworld", 10, 10, 1); err == nil {
+		t.Fatal("unknown graph kind accepted")
+	}
+}

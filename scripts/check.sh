@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo-wide checks: formatting, vet, build, tests (with the race
+# detector). CI runs exactly this script; run it locally before
+# pushing.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
