@@ -8,7 +8,11 @@
 // device model for the cross-system experiments (sim.go).
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"ringsampler/internal/uring"
+)
 
 // DefaultFanouts is the paper's 3-layer GraphSAGE fanout {20,15,10}.
 var DefaultFanouts = []int{20, 15, 10}
@@ -36,6 +40,17 @@ type Config struct {
 	// Seed drives all sampling randomness. Identical seeds yield
 	// bit-identical sample sets.
 	Seed uint64
+	// MaxIORetries bounds how many times one ring read is resubmitted
+	// after a transient result (-EINTR/-EAGAIN, or a short read's
+	// remaining byte range) before the worker surfaces a structured
+	// *IOError. 0 disables retries entirely.
+	MaxIORetries int
+	// WrapRing, when non-nil, wraps each worker's ring right after
+	// construction — the hook fault-injection tests and resilience
+	// experiments use to interpose uring.NewFault (or any other
+	// decorator) without a separate backend name. Production use leaves
+	// it nil.
+	WrapRing func(r uring.Ring, workerID int) (uring.Ring, error)
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -48,6 +63,7 @@ func DefaultConfig() Config {
 		AsyncPipeline:  true,
 		OffsetSampling: true,
 		Seed:           1,
+		MaxIORetries:   8,
 	}
 }
 
@@ -68,6 +84,9 @@ func (c *Config) validate() error {
 	}
 	if c.RingSize <= 0 {
 		return fmt.Errorf("core: ring size %d must be positive", c.RingSize)
+	}
+	if c.MaxIORetries < 0 {
+		return fmt.Errorf("core: max I/O retries %d must be non-negative", c.MaxIORetries)
 	}
 	return nil
 }

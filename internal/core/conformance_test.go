@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+
+	"ringsampler/internal/uring"
+)
+
+// Cross-backend conformance: one fixed sampling plan (dataset, config,
+// seed, targets) must yield byte-identical sampled neighborhoods
+// through every ring backend — sim, pool, fault-wrapped variants of
+// both, and real io_uring when the environment supports it. This
+// executes the "all backends implement the same ring contract"
+// invariant end to end: the sample set is a property of (seed, worker
+// id) alone, and injected faults must be absorbed by the retry path
+// without corrupting a single byte.
+
+// faultWrap returns a WrapRing hook injecting the given plan, with the
+// seed varied per worker so workers see independent fault streams.
+func faultWrap(plan uring.FaultPlan) func(r uring.Ring, workerID int) (uring.Ring, error) {
+	return func(r uring.Ring, workerID int) (uring.Ring, error) {
+		p := plan
+		p.Seed = plan.Seed + uint64(workerID)
+		return uring.NewFault(r, p)
+	}
+}
+
+func TestCrossBackendConformance(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	cfg.RingSize = 32 // small ring so every backend wraps and backpressures
+	targets := testTargets(ds, 128)
+	ref := sampleOnce(t, ds, cfg, uring.BackendSim, targets)
+	if ref.TotalSampled() == 0 {
+		t.Fatal("reference plan sampled nothing")
+	}
+
+	// The injected transient-error rate is ≥1% by design (acceptance
+	// bar); the nasty plan goes far beyond it.
+	mild := uring.FaultPlan{Seed: 100, ShortReadRate: 0.03, TransientRate: 0.02, RejectRate: 0.05, DelayRate: 0.1}
+	nasty := uring.FaultPlan{Seed: 200, ShortReadRate: 0.2, TransientRate: 0.1, RejectRate: 0.15, DelayRate: 0.25, MaxDelay: 5}
+
+	cases := []struct {
+		name    string
+		backend uring.Backend
+		wrap    func(uring.Ring, int) (uring.Ring, error)
+	}{
+		{"pool", uring.BackendPool, nil},
+		{"fault-sim-mild", uring.BackendSim, faultWrap(mild)},
+		{"fault-sim-nasty", uring.BackendSim, faultWrap(nasty)},
+		{"fault-pool-mild", uring.BackendPool, faultWrap(mild)},
+		{"fault-pool-nasty", uring.BackendPool, faultWrap(nasty)},
+	}
+	if uring.Probe() {
+		cases = append(cases,
+			struct {
+				name    string
+				backend uring.Backend
+				wrap    func(uring.Ring, int) (uring.Ring, error)
+			}{"io_uring", uring.BackendIOURing, nil},
+			struct {
+				name    string
+				backend uring.Backend
+				wrap    func(uring.Ring, int) (uring.Ring, error)
+			}{"fault-io_uring", uring.BackendIOURing, faultWrap(mild)},
+		)
+	} else {
+		t.Log("io_uring unavailable; real backend skipped")
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cc := cfg
+			cc.WrapRing = c.wrap
+			s, err := New(ds, cc, c.backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := s.NewWorker(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			got, err := w.SampleBatch(targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBatchesEqual(t, ref, got, c.name)
+			if c.wrap != nil {
+				st := w.IOStats()
+				fs, _ := uring.Faults(w.ring)
+				t.Logf("io stats: %+v; injected: %+v", st, fs)
+				if fs.Total() == 0 {
+					t.Fatal("fault-wrapped run injected nothing — plan too weak to prove anything")
+				}
+				if (fs.ShortReads > 0 || fs.Transient > 0) && st.Retries == 0 {
+					t.Fatal("faults injected but worker recorded no retries")
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceFullFetchUnderFaults: the full-neighborhood ablation
+// path shares issue(), so it must survive the same fault plan and agree
+// with the fault-free offset path.
+func TestConformanceFullFetchUnderFaults(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	cfg.RingSize = 32
+	targets := testTargets(ds, 64)
+	ref := sampleOnce(t, ds, cfg, uring.BackendSim, targets)
+	full := cfg
+	full.OffsetSampling = false
+	full.WrapRing = faultWrap(uring.FaultPlan{Seed: 9, ShortReadRate: 0.1, TransientRate: 0.05, RejectRate: 0.1, DelayRate: 0.2})
+	got := sampleOnce(t, ds, full, uring.BackendPool, targets)
+	assertBatchesEqual(t, ref, got, "offset/full-fetch-under-faults")
+}
+
+// TestRetryExhaustionTransient: a ring that only ever returns -EINTR/
+// -EAGAIN must burn exactly MaxIORetries retries and surface a
+// structured *IOError wrapping the transient errno.
+func TestRetryExhaustionTransient(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.MaxIORetries = 3
+	cfg.WrapRing = faultWrap(uring.FaultPlan{Seed: 5, TransientRate: 1})
+	s, err := New(ds, cfg, uring.BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, err = w.SampleBatch(testTargets(ds, 8))
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("err = %v (%T), want *IOError", err, err)
+	}
+	if ioe.Attempts != cfg.MaxIORetries {
+		t.Fatalf("Attempts = %d, want %d", ioe.Attempts, cfg.MaxIORetries)
+	}
+	if !transientErrno(ioe.Errno) {
+		t.Fatalf("Errno = %v, want EINTR/EAGAIN", ioe.Errno)
+	}
+	if !errors.Is(err, ioe.Errno) {
+		t.Fatal("IOError does not unwrap to its errno")
+	}
+}
+
+// TestHardErrorFailsFast: -EIO is not retryable — the worker must fail
+// on the first completion with the errno preserved, not burn retries.
+func TestHardErrorFailsFast(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.WrapRing = faultWrap(uring.FaultPlan{Seed: 5, HardErrRate: 1})
+	s, err := New(ds, cfg, uring.BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, err = w.SampleBatch(testTargets(ds, 8))
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("err = %v (%T), want *IOError", err, err)
+	}
+	if ioe.Errno != syscall.EIO || ioe.Attempts != 0 {
+		t.Fatalf("IOError = %+v, want first-completion EIO", ioe)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatal("IOError does not unwrap to EIO")
+	}
+}
+
+// TestRetriesDisabled: MaxIORetries = 0 restores fail-fast semantics
+// even for transient results.
+func TestRetriesDisabled(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.MaxIORetries = 0
+	cfg.WrapRing = faultWrap(uring.FaultPlan{Seed: 5, TransientRate: 1})
+	s, err := New(ds, cfg, uring.BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.SampleBatch(testTargets(ds, 8)); err == nil {
+		t.Fatal("transient errno succeeded with retries disabled")
+	}
+}
+
+// TestIOErrorShortReadUnwrap pins the short-read-exhaustion flavor of
+// the structured error.
+func TestIOErrorShortReadUnwrap(t *testing.T) {
+	e := &IOError{Offset: 128, Bytes: 12, Attempts: 8}
+	if !errors.Is(e, io.ErrUnexpectedEOF) {
+		t.Fatal("short-read IOError does not unwrap to io.ErrUnexpectedEOF")
+	}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// TestConfigRejectsNegativeRetries: validation satellite for the new
+// knob.
+func TestConfigRejectsNegativeRetries(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.MaxIORetries = -1
+	if _, err := New(ds, cfg, uring.BackendSim); err == nil {
+		t.Fatal("negative MaxIORetries accepted")
+	}
+}

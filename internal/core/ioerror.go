@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"syscall"
+)
+
+// IOError is the structured error a worker surfaces when one ring read
+// cannot be completed: either a non-retryable errno came back, or the
+// bounded retry budget was exhausted by transient results (-EINTR,
+// -EAGAIN, short reads). Offset/Bytes describe the byte range that was
+// still outstanding when the worker gave up — after partial progress
+// through short reads, that is the unread tail, not the original
+// request.
+type IOError struct {
+	// Offset is the edge-file byte offset of the failed read.
+	Offset int64
+	// Bytes is how many bytes were still outstanding.
+	Bytes int64
+	// Attempts is how many retries had been spent on the request.
+	Attempts int
+	// Errno is the final negated-errno result, or 0 when the retry
+	// budget was exhausted by short reads alone.
+	Errno syscall.Errno
+}
+
+func (e *IOError) Error() string {
+	if e.Errno != 0 {
+		return fmt.Sprintf("core: read of %d bytes at offset %d failed after %d retries: %v",
+			e.Bytes, e.Offset, e.Attempts, e.Errno)
+	}
+	return fmt.Sprintf("core: read of %d bytes at offset %d still short after %d retries",
+		e.Bytes, e.Offset, e.Attempts)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As: the final
+// errno, or io.ErrUnexpectedEOF for short-read exhaustion.
+func (e *IOError) Unwrap() error {
+	if e.Errno != 0 {
+		return e.Errno
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// IOStats counts a worker's ring-level I/O activity, including the
+// retry traffic the fault-injection suite provokes. Counters accumulate
+// across batches for the lifetime of the worker.
+type IOStats struct {
+	// Reads is the number of planned read requests completed in full.
+	Reads int64
+	// BytesRead is the total bytes successfully read (short-read
+	// prefixes included).
+	BytesRead int64
+	// Retries is the number of resubmissions (transient errnos plus
+	// short-read remainders).
+	Retries int64
+	// ShortReads is how many completions returned fewer bytes than
+	// requested.
+	ShortReads int64
+	// TransientErrs is how many completions returned -EINTR/-EAGAIN.
+	TransientErrs int64
+}
+
+// transientErrno reports whether errno is worth retrying: the request
+// did not execute and may succeed verbatim. EWOULDBLOCK aliases EAGAIN
+// on every platform this builds on.
+func transientErrno(e syscall.Errno) bool {
+	return e == syscall.EINTR || e == syscall.EAGAIN
+}

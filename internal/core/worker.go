@@ -39,13 +39,16 @@ func (s *Sampler) Config() Config { return s.cfg }
 // share nothing, so an epoch runs them with zero synchronization.
 // A Worker is not safe for concurrent use.
 type Worker struct {
-	s    *Sampler
-	id   int
-	ring uring.Ring
-	rng  sample.RNG
+	s     *Sampler
+	id    int
+	ring  uring.Ring
+	rng   sample.RNG
+	stats IOStats
 
 	// Workspaces, reused across batches (paper §3.1).
 	runs     []ioRun  // offset workspace: coalesced read requests
+	reqs     []ioReq  // in-flight request state (retry bookkeeping)
+	retryQ   []int    // request IDs awaiting resubmission
 	frontier []uint32 // target workspace
 	gathered []uint32 // neighbor accumulation for frontier building
 	buf      []byte   // neighbor workspace backing the reads
@@ -63,12 +66,28 @@ type ioRun struct {
 	bufPos     int64
 }
 
+// ioReq is the live state of run i while it is in flight: the byte
+// range still outstanding (which shrinks as short-read prefixes land)
+// and how many retries it has consumed.
+type ioReq struct {
+	off      int64 // next edge-file byte offset to read
+	bufPos   int64 // next write position in the layer buffer
+	remain   int64 // bytes still outstanding
+	attempts int
+}
+
 // NewWorker creates worker `id` with its own ring. Distinct ids sample
 // independent streams; equal (Seed, id) pairs sample bit-identically.
 func (s *Sampler) NewWorker(id int) (*Worker, error) {
 	ring, err := uring.New(s.backend, s.ds.File(), s.cfg.RingSize)
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.WrapRing != nil {
+		ring, err = s.cfg.WrapRing(ring, id)
+		if err != nil {
+			return nil, fmt.Errorf("core: wrap worker %d ring: %w", id, err)
+		}
 	}
 	return &Worker{
 		s:    s,
@@ -80,6 +99,9 @@ func (s *Sampler) NewWorker(id int) (*Worker, error) {
 
 // Close releases the worker's ring.
 func (w *Worker) Close() error { return w.ring.Close() }
+
+// IOStats returns the worker's accumulated ring-level I/O counters.
+func (w *Worker) IOStats() IOStats { return w.stats }
 
 // SampleBatch samples the configured fanout layers for one mini-batch
 // of target nodes and returns the per-layer results. All sampling
@@ -212,19 +234,50 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 // submitting further requests while earlier completions drain; the
 // synchronous ablation waits for every in-flight request before
 // staging more.
+//
+// Transient results are absorbed here rather than failing the batch:
+// -EINTR/-EAGAIN resubmit the request verbatim and a short read
+// resubmits exactly the remaining byte range (short-read prefixes are
+// kept — they may split an entry mid-way, which byte-granular
+// resubmission handles). Each request has a bounded retry budget
+// (Config.MaxIORetries); exhaustion, or any non-retryable errno,
+// surfaces as a structured *IOError.
 func (w *Worker) issue(runs []ioRun, buf []byte) error {
 	async := w.s.cfg.AsyncPipeline
+	maxRetries := w.s.cfg.MaxIORetries
+	if cap(w.reqs) < len(runs) {
+		w.reqs = make([]ioReq, len(runs))
+	}
+	w.reqs = w.reqs[:len(runs)]
+	w.retryQ = w.retryQ[:0]
 	next, inflight, completed := 0, 0, 0
 	for completed < len(runs) {
 		staged := 0
-		for next < len(runs) {
-			r := &runs[next]
-			n := int64(r.entries) * storage.EntryBytes
-			if !w.ring.PrepRead(uint64(next), r.entryStart*storage.EntryBytes, buf[r.bufPos:r.bufPos+n]) {
+		// Resubmissions first: their buffer ranges block layer decode.
+		for len(w.retryQ) > 0 {
+			id := w.retryQ[0]
+			rq := &w.reqs[id]
+			if !w.ring.PrepRead(uint64(id), rq.off, buf[rq.bufPos:rq.bufPos+rq.remain]) {
 				break
 			}
-			next++
+			w.retryQ = w.retryQ[1:]
 			staged++
+		}
+		if len(w.retryQ) == 0 {
+			for next < len(runs) {
+				r := &runs[next]
+				w.reqs[next] = ioReq{
+					off:    r.entryStart * storage.EntryBytes,
+					bufPos: r.bufPos,
+					remain: int64(r.entries) * storage.EntryBytes,
+				}
+				rq := &w.reqs[next]
+				if !w.ring.PrepRead(uint64(next), rq.off, buf[rq.bufPos:rq.bufPos+rq.remain]) {
+					break
+				}
+				next++
+				staged++
+			}
 		}
 		if staged > 0 {
 			if _, err := w.ring.Submit(); err != nil {
@@ -241,17 +294,42 @@ func (w *Worker) issue(runs []ioRun, buf []byte) error {
 			return err
 		}
 		for _, c := range cqes {
-			r := &runs[c.ID]
-			want := int32(r.entries) * storage.EntryBytes
-			if c.Res < 0 {
-				return fmt.Errorf("core: read of %d entries at entry %d failed: %w",
-					r.entries, r.entryStart, syscall.Errno(-c.Res))
+			rq := &w.reqs[c.ID]
+			switch {
+			case c.Res < 0:
+				errno := syscall.Errno(-c.Res)
+				if !transientErrno(errno) {
+					return &IOError{Offset: rq.off, Bytes: rq.remain, Attempts: rq.attempts, Errno: errno}
+				}
+				w.stats.TransientErrs++
+				if rq.attempts >= maxRetries {
+					return &IOError{Offset: rq.off, Bytes: rq.remain, Attempts: rq.attempts, Errno: errno}
+				}
+				rq.attempts++
+				w.stats.Retries++
+				w.retryQ = append(w.retryQ, int(c.ID))
+			case int64(c.Res) > rq.remain:
+				return fmt.Errorf("core: overlong read at offset %d: got %d bytes, want %d",
+					rq.off, c.Res, rq.remain)
+			case int64(c.Res) == rq.remain:
+				w.stats.Reads++
+				w.stats.BytesRead += int64(c.Res)
+				completed++
+			default:
+				// Short read: the prefix is valid — advance the request
+				// window and resubmit only the tail.
+				w.stats.ShortReads++
+				w.stats.BytesRead += int64(c.Res)
+				rq.off += int64(c.Res)
+				rq.bufPos += int64(c.Res)
+				rq.remain -= int64(c.Res)
+				if rq.attempts >= maxRetries {
+					return &IOError{Offset: rq.off, Bytes: rq.remain, Attempts: rq.attempts}
+				}
+				rq.attempts++
+				w.stats.Retries++
+				w.retryQ = append(w.retryQ, int(c.ID))
 			}
-			if c.Res != want {
-				return fmt.Errorf("core: short read at entry %d: got %d bytes, want %d",
-					r.entryStart, c.Res, want)
-			}
-			completed++
 		}
 		inflight -= len(cqes)
 	}

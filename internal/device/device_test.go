@@ -1,0 +1,87 @@
+package device
+
+import "testing"
+
+// TestGroupSeconds pins the cost law: one latency per group plus the
+// max of the channel-service and bandwidth bounds.
+func TestGroupSeconds(t *testing.T) {
+	m := &Model{LatencySec: 1e-4, PerOpSec: 1e-5, Channels: 4, BytesPerSec: 1e9, MaxTransfer: 1 << 17}
+	if got := m.GroupSeconds(0, 0); got != 0 {
+		t.Fatalf("empty group costs %v, want 0", got)
+	}
+	// 8 ops over 4 channels = 2e-5 service; 1 KB / 1e9 = 1e-6 bandwidth
+	// → service-bound.
+	want := 1e-4 + 2e-5
+	if got := m.GroupSeconds(8, 1024); got != want {
+		t.Fatalf("service-bound group = %v, want %v", got, want)
+	}
+	// 1 op, 1 GB → bandwidth-bound: latency + 1s.
+	if got := m.GroupSeconds(1, 1e9); got != 1e-4+1 {
+		t.Fatalf("bandwidth-bound group = %v, want %v", got, 1e-4+1)
+	}
+}
+
+// TestGroupSecondsMonotone: charging more ops or more bytes never makes
+// a group faster.
+func TestGroupSecondsMonotone(t *testing.T) {
+	m := NVMe()
+	prev := 0.0
+	for ops := int64(1); ops <= 1<<12; ops *= 2 {
+		got := m.GroupSeconds(ops, ops*4096)
+		if got < prev {
+			t.Fatalf("GroupSeconds(%d) = %v < previous %v", ops, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestFloorMatchesGroup: for a single submitted group, the run floor is
+// exactly the group cost minus the one-time latency.
+func TestFloorMatchesGroup(t *testing.T) {
+	m := NVMe()
+	ops, bytes := int64(1000), int64(1<<20)
+	if got, want := m.FloorSeconds(ops, bytes), m.GroupSeconds(ops, bytes)-m.LatencySec; got != want {
+		t.Fatalf("FloorSeconds = %v, want group-latency = %v", got, want)
+	}
+}
+
+// TestShare: n concurrent actors each see 1/n of the channels and a
+// proportionally reduced bandwidth; degenerate n never drops below one
+// channel.
+func TestShare(t *testing.T) {
+	m := NVMe()
+	if s := m.Share(1); s != m {
+		t.Fatal("Share(1) must return the model unchanged")
+	}
+	s := m.Share(4)
+	if s.Channels != m.Channels/4 {
+		t.Fatalf("Share(4).Channels = %d, want %d", s.Channels, m.Channels/4)
+	}
+	wantBW := m.BytesPerSec * float64(s.Channels) / float64(m.Channels)
+	if s.BytesPerSec != wantBW {
+		t.Fatalf("Share(4).BytesPerSec = %v, want %v", s.BytesPerSec, wantBW)
+	}
+	if m.Channels != 16 {
+		t.Fatalf("NVMe channels changed: %d", m.Channels) // Share must copy
+	}
+	if huge := m.Share(1 << 20); huge.Channels != 1 {
+		t.Fatalf("oversubscribed Share floor = %d channels, want 1", huge.Channels)
+	}
+}
+
+// TestSplitOps pins MaxTransfer request splitting at the boundaries.
+func TestSplitOps(t *testing.T) {
+	m := NVMe() // MaxTransfer 128 KiB
+	cases := []struct {
+		n    int64
+		want int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {m.MaxTransfer, 1}, {m.MaxTransfer + 1, 2},
+		{10*m.MaxTransfer - 1, 10}, {10 * m.MaxTransfer, 10},
+	}
+	for _, c := range cases {
+		if got := m.SplitOps(c.n); got != c.want {
+			t.Fatalf("SplitOps(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -173,6 +173,88 @@ func TestRunSystemLabels(t *testing.T) {
 	}
 }
 
+// TestFaultSweepQuick: one low-rate fault point on the checked-in
+// dataset — the engine must absorb the injected faults and produce
+// byte-identical samples. Fast enough to run everywhere.
+func TestFaultSweepQuick(t *testing.T) {
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	o := Options{Targets: 128, BatchSize: 64}
+	points, err := FaultSweep(ds, o, uring.BackendPool, []float64{0.02}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want reference + 1 rate", len(points))
+	}
+	assertFaultPoints(t, points)
+}
+
+// TestFaultSweepFull: the full rate sweep (up to 20% per-request
+// faults) across pool and sim backends. Slow by design; gated behind
+// -short.
+func TestFaultSweepFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep skipped in -short mode")
+	}
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	o := Options{Targets: 512, BatchSize: 128}
+	rates := []float64{0.01, 0.05, 0.1, 0.2}
+	backends := []uring.Backend{uring.BackendPool, uring.BackendSim}
+	if uring.Probe() {
+		backends = append(backends, uring.BackendIOURing)
+	}
+	for _, be := range backends {
+		t.Run(string(be), func(t *testing.T) {
+			points, err := FaultSweep(ds, o, be, rates, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(points) != len(rates)+1 {
+				t.Fatalf("got %d points, want %d", len(points), len(rates)+1)
+			}
+			assertFaultPoints(t, points)
+			for _, pt := range points[1:] {
+				if pt.Injected.Total() == 0 {
+					t.Fatalf("rate %v injected nothing", pt.Rate)
+				}
+			}
+		})
+	}
+}
+
+func assertFaultPoints(t *testing.T, points []FaultPoint) {
+	t.Helper()
+	for _, pt := range points {
+		t.Logf("rate %.2f: %.0f entries/s, io %+v, injected %+v",
+			pt.Rate, pt.EntriesPerSec, pt.IO, pt.Injected)
+		if !pt.Identical {
+			t.Fatalf("rate %v corrupted the sampled output", pt.Rate)
+		}
+		if pt.Entries == 0 || pt.EntriesPerSec <= 0 {
+			t.Fatalf("rate %v degenerate point: %+v", pt.Rate, pt)
+		}
+		if pt.Rate > 0 && pt.IO.Retries == 0 {
+			t.Fatalf("rate %v: faults injected but no retries recorded", pt.Rate)
+		}
+	}
+}
+
 func TestFig6Milestones(t *testing.T) {
 	o := Options{Divisor: 20_000, Targets: 8, BatchSize: 1, Threads: 1}
 	res, err := Fig6(benchRoot, o, 8)

@@ -1,0 +1,99 @@
+package simtime
+
+import "testing"
+
+// TestClockMonotone: virtual time never rewinds — negative advances and
+// backward AdvanceTo are ignored.
+func TestClockMonotone(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v, want 0", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(-100)
+	if c.Now() != 1.5 {
+		t.Fatalf("negative Advance moved the clock to %v", c.Now())
+	}
+	c.AdvanceTo(1.0)
+	if c.Now() != 1.5 {
+		t.Fatalf("backward AdvanceTo moved the clock to %v", c.Now())
+	}
+	c.AdvanceTo(3.0)
+	if c.Now() != 3.0 {
+		t.Fatalf("AdvanceTo(3) landed at %v", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 3.0 {
+		t.Fatalf("Advance(0) moved the clock to %v", c.Now())
+	}
+}
+
+// TestPipelineOverlap: dispatched I/O runs concurrently with subsequent
+// compute; WaitIO only charges the remaining tail.
+func TestPipelineOverlap(t *testing.T) {
+	var p Pipeline
+	p.Compute(1)
+	p.Dispatch(4) // I/O spans [1, 5)
+	p.Compute(2)  // CPU at 3, overlapped with the I/O
+	p.WaitIO()    // CPU joins the I/O horizon at 5
+	if p.Now() != 5 {
+		t.Fatalf("overlapped pipeline at %v, want 5", p.Now())
+	}
+	// Fully-hidden I/O: compute longer than the I/O costs nothing extra.
+	var q Pipeline
+	q.Dispatch(1)
+	q.Compute(10)
+	q.WaitIO()
+	if q.Now() != 10 {
+		t.Fatalf("hidden I/O pipeline at %v, want 10", q.Now())
+	}
+}
+
+// TestPipelineInOrderIO: I/Os on one actor's queue complete in order —
+// a later dispatch cannot start before the previous one finished.
+func TestPipelineInOrderIO(t *testing.T) {
+	var p Pipeline
+	p.Dispatch(2) // [0, 2)
+	p.Dispatch(3) // queued: starts at 2, done at 5
+	p.WaitIO()
+	if p.Now() != 5 {
+		t.Fatalf("queued I/O pipeline at %v, want 5", p.Now())
+	}
+	// An I/O dispatched after the CPU passed the queue's horizon starts
+	// at the CPU time, not earlier.
+	var q Pipeline
+	q.Dispatch(1)
+	q.Compute(10)
+	q.Dispatch(2) // starts at 10, done at 12
+	q.WaitIO()
+	if q.Now() != 12 {
+		t.Fatalf("late-dispatch pipeline at %v, want 12", q.Now())
+	}
+}
+
+// TestPipelineWaitIdempotent: WaitIO with nothing outstanding is free,
+// and time stays monotone across arbitrary interleavings.
+func TestPipelineWaitIdempotent(t *testing.T) {
+	var p Pipeline
+	p.WaitIO()
+	if p.Now() != 0 {
+		t.Fatalf("WaitIO on idle pipeline moved time to %v", p.Now())
+	}
+	prev := 0.0
+	steps := []func(){
+		func() { p.Compute(0.5) },
+		func() { p.Dispatch(0.25) },
+		func() { p.WaitIO() },
+		func() { p.Dispatch(1) },
+		func() { p.Compute(0.1) },
+		func() { p.WaitIO() },
+		func() { p.WaitIO() },
+	}
+	for i, step := range steps {
+		step()
+		if p.Now() < prev {
+			t.Fatalf("step %d rewound time: %v < %v", i, p.Now(), prev)
+		}
+		prev = p.Now()
+	}
+}

@@ -1,0 +1,33 @@
+package uring
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"syscall"
+)
+
+// errnoResult converts a ReadAt outcome into the ring result convention
+// shared by every backend: a non-negative byte count (short reads
+// included — EOF is reported as the bytes that were read, exactly like
+// the kernel), or a negated errno on failure.
+//
+// When ReadAt made partial progress before failing, the partial count
+// is reported as a short read: the consumer's resubmit path will run
+// into the error again at the failing offset, where it surfaces with no
+// bytes to hide behind. Errors that carry no errno (e.g. a closed file,
+// which os reports as fs.ErrClosed rather than EBADF) are mapped to the
+// nearest real errno; only truly opaque failures fall back to EIO.
+func errnoResult(n int, err error) int32 {
+	if err == nil || errors.Is(err, io.EOF) || n > 0 {
+		return int32(n)
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		return -int32(errno)
+	}
+	if errors.Is(err, fs.ErrClosed) {
+		return -int32(syscall.EBADF)
+	}
+	return -int32(syscall.EIO)
+}

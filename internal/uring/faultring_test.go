@@ -1,0 +1,176 @@
+package uring
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFaultPlanValidation(t *testing.T) {
+	f := testFile(t, 8)
+	inner := newSim(f, 8)
+	bad := []FaultPlan{
+		{ShortReadRate: -0.1},
+		{TransientRate: 1.5},
+		{RejectRate: 2},
+		{DelayRate: -1},
+		{MaxDelay: -1},
+		{ShortReadRate: 0.5, TransientRate: 0.4, HardErrRate: 0.3},
+	}
+	for i, p := range bad {
+		if _, err := NewFault(inner, p); err == nil {
+			t.Fatalf("plan %d (%+v) accepted", i, p)
+		}
+	}
+	r, err := NewFault(inner, FaultPlan{Seed: 1, ShortReadRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entries() != 8 {
+		t.Fatalf("Entries() = %d, want inner's 8", r.Entries())
+	}
+}
+
+// TestFaultRingDeterministic: equal seeds and call sequences inject the
+// identical fault sequence (over the deterministic sim inner ring).
+func TestFaultRingDeterministic(t *testing.T) {
+	run := func() FaultStats {
+		f := testFile(t, 128)
+		inner := newSim(f, 8)
+		r, err := NewFault(inner, FaultPlan{
+			Seed: 7, ShortReadRate: 0.2, TransientRate: 0.2, RejectRate: 0.2, DelayRate: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		driveConformance(t, r, conformancePlan(128), 64)
+		st, _ := Faults(r)
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault injection not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("20%% fault rates injected nothing")
+	}
+}
+
+// TestFaultRingInjectsEachKind: with a plan that enables one fault kind
+// at a time, that kind (and only the per-request kinds) shows up.
+func TestFaultRingInjectsEachKind(t *testing.T) {
+	drive := func(plan FaultPlan) FaultStats {
+		f := testFile(t, 128)
+		r, err := NewFault(newSim(f, 8), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		driveConformance(t, r, conformancePlan(128), 256)
+		st, _ := Faults(r)
+		return st
+	}
+	if st := drive(FaultPlan{Seed: 3, ShortReadRate: 0.5}); st.ShortReads == 0 || st.Transient != 0 || st.Hard != 0 {
+		t.Fatalf("short-read-only plan: %+v", st)
+	}
+	if st := drive(FaultPlan{Seed: 3, TransientRate: 0.5}); st.Transient == 0 || st.ShortReads != 0 {
+		t.Fatalf("transient-only plan: %+v", st)
+	}
+	if st := drive(FaultPlan{Seed: 3, RejectRate: 0.5}); st.Rejected == 0 {
+		t.Fatalf("reject-only plan: %+v", st)
+	}
+	if st := drive(FaultPlan{Seed: 3, DelayRate: 0.5}); st.Delayed == 0 {
+		t.Fatalf("delay-only plan: %+v", st)
+	}
+}
+
+// TestFaultRingHardError: a hard-error plan surfaces -EIO to the
+// consumer (no silent retry, no corruption).
+func TestFaultRingHardError(t *testing.T) {
+	f := testFile(t, 16)
+	r, err := NewFault(newSim(f, 8), FaultPlan{Seed: 1, HardErrRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 8)
+	if !r.PrepRead(42, 0, buf) {
+		t.Fatal("PrepRead refused on idle ring")
+	}
+	if _, err := r.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	cqes, err := r.Wait(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cqes) != 1 || cqes[0].ID != 42 || cqes[0].Res != -int32(syscall.EIO) {
+		t.Fatalf("cqes = %+v, want one {ID:42 Res:-EIO}", cqes)
+	}
+}
+
+// TestPoolRealErrno: the pool backend reports the kernel's actual errno
+// (EBADF from a write-only fd), not a collapsed -EIO stand-in. The sim
+// backend shares the mapping.
+func TestPoolRealErrno(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wronly.bin")
+	if err := os.WriteFile(path, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, be := range []Backend{BackendPool, BackendSim} {
+		t.Run(string(be), func(t *testing.T) {
+			r, err := New(be, f, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			buf := make([]byte, 8)
+			if !r.PrepRead(1, 0, buf) {
+				t.Fatal("PrepRead refused")
+			}
+			if _, err := r.Submit(); err != nil {
+				t.Fatal(err)
+			}
+			cqes, err := r.Wait(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cqes) != 1 || cqes[0].Res != -int32(syscall.EBADF) {
+				t.Fatalf("cqes = %+v, want one Res=-EBADF(%d)", cqes, -int32(syscall.EBADF))
+			}
+		})
+	}
+}
+
+// TestErrnoResultMapping pins the shared ReadAt→result translation.
+func TestErrnoResultMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		err  error
+		want int32
+	}{
+		{"success", 64, nil, 64},
+		{"eof-short", 3, errIO{}, 3}, // partial progress wins over the error
+		{"errno", 0, &os.PathError{Op: "read", Err: syscall.EBADF}, -int32(syscall.EBADF)},
+		{"wrapped-errno", 0, &os.PathError{Op: "read", Err: syscall.EINVAL}, -int32(syscall.EINVAL)},
+		{"closed", 0, &os.PathError{Op: "read", Err: os.ErrClosed}, -int32(syscall.EBADF)},
+		{"opaque", 0, errIO{}, -int32(syscall.EIO)},
+	}
+	for _, c := range cases {
+		if got := errnoResult(c.n, c.err); got != c.want {
+			t.Fatalf("%s: errnoResult(%d, %v) = %d, want %d", c.name, c.n, c.err, got, c.want)
+		}
+	}
+}
+
+type errIO struct{}
+
+func (errIO) Error() string { return "opaque failure" }

@@ -1,8 +1,6 @@
 package uring
 
 import (
-	"errors"
-	"io"
 	"os"
 	"sync"
 )
@@ -60,11 +58,7 @@ func (r *poolRing) worker() {
 	defer r.wg.Done()
 	for rq := range r.work {
 		n, err := r.f.ReadAt(rq.buf, rq.off)
-		res := int32(n)
-		if err != nil && !errors.Is(err, io.EOF) {
-			res = -5 // EIO: portable stand-in for the real errno
-		}
-		r.results <- CQE{ID: rq.id, Res: res}
+		r.results <- CQE{ID: rq.id, Res: errnoResult(n, err)}
 	}
 }
 

@@ -1,10 +1,6 @@
 package uring
 
-import (
-	"errors"
-	"io"
-	"os"
-)
+import "os"
 
 // simRing is the deterministic backend: reads execute synchronously in
 // submission order at Submit time and completions drain FIFO. It keeps
@@ -35,11 +31,7 @@ func (r *simRing) Submit() (int, error) {
 	n := len(r.staged)
 	for _, rq := range r.staged {
 		nn, err := r.f.ReadAt(rq.buf, rq.off)
-		res := int32(nn)
-		if err != nil && !errors.Is(err, io.EOF) {
-			res = -5
-		}
-		r.done = append(r.done, CQE{ID: rq.id, Res: res})
+		r.done = append(r.done, CQE{ID: rq.id, Res: errnoResult(nn, err)})
 	}
 	r.staged = r.staged[:0]
 	return n, nil

@@ -42,6 +42,34 @@ type CQE struct {
 // Ring is a single-owner SQ/CQ pair. Rings are NOT safe for concurrent
 // use: the engine gives each worker thread a private ring (paper
 // Fig 3a), which is also what makes the real io_uring mapping sound.
+//
+// The ring contract — what every backend (real io_uring, pread pool,
+// deterministic sim, and the fault-injecting wrapper) guarantees and
+// what consumers must absorb. The conformance suites
+// (internal/uring/conformance_test.go, internal/core/conformance_test.go)
+// execute this contract against all backends:
+//
+//   - Exactly-once completion: every request accepted by PrepRead and
+//     published by Submit produces exactly one CQE carrying its ID.
+//     Completions may arrive in ANY order and spread over any number of
+//     Wait calls.
+//   - Result convention: Res >= 0 is bytes read into the buffer prefix
+//     buf[:Res]; Res in [0, len(buf)) is a short read (the prefix is
+//     valid data — reading at or past EOF yields the truncated count,
+//     exactly like pread(2)). Res < 0 is a negated errno; no bytes are
+//     valid. Backends report real errnos (-EINTR, -EAGAIN, -EBADF,
+//     ...), never a collapsed stand-in.
+//   - Transient results: -EINTR and -EAGAIN, like short reads, are
+//     retryable — the request did not happen (or only partially
+//     happened) and the consumer is expected to resubmit the remaining
+//     byte range. Consumers that cannot retry must treat them as hard
+//     failures.
+//   - Backpressure: PrepRead returning false is not an error; it means
+//     the SQ is full or too many requests are in flight. Submit and/or
+//     Wait, then retry. A ring never refuses a PrepRead while it is
+//     completely idle (nothing staged or in flight).
+//   - Wait(min) with min larger than the in-flight count is clamped;
+//     Wait(0) is a non-blocking poll.
 type Ring interface {
 	// PrepRead stages a read of len(buf) bytes at byte offset off into
 	// the submission queue. It returns false when the SQ is full or too

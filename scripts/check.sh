@@ -1,7 +1,10 @@
 #!/bin/sh
 # Repo-wide checks: formatting, vet, build, tests (with the race
-# detector). CI runs exactly this script; run it locally before
-# pushing.
+# detector). CI runs the same steps; run this locally before pushing.
+#
+# QUICK=1 passes -short to go test, which skips the slow fault-sweep
+# tests (internal/exp TestFaultSweepFull); the default runs everything,
+# including the cross-backend conformance suites under -race.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,4 +17,8 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./...
+if [ "${QUICK:-0}" = "1" ]; then
+    go test -race -short ./...
+else
+    go test -race ./...
+fi
