@@ -175,6 +175,50 @@ func BenchmarkFig8Threads(b *testing.B) {
 	}
 }
 
+// BenchmarkRealEpochThreads measures the real engine's parallel epoch
+// runner across thread counts — the real-I/O companion to the modeled
+// BenchmarkFig8Threads. Output is thread-count-invariant by
+// construction, so what varies across sub-benchmarks is purely
+// throughput.
+func BenchmarkRealEpochThreads(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "epoch")
+	if err := GenerateDataset(dir, "rmat", 20_000, 300_000, 3); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	targets := make([]uint32, 2048)
+	for i := range targets {
+		targets[i] = uint32(i * 37 % 20_000)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		threads := threads
+		b.Run(fmt.Sprintf("%dthreads", threads), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Seed = 7
+			cfg.BatchSize = 256
+			cfg.Threads = threads
+			s, err := NewSampler(ds, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var eps float64
+			for i := 0; i < b.N; i++ {
+				st, err := RunEpoch(s, targets, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eps = st.EntriesPerSec
+			}
+			b.ReportMetric(eps, "entries/s")
+		})
+	}
+}
+
 // BenchmarkAblationPipeline quantifies the async-vs-sync pipeline
 // design choice (Figure 3b) under a tight budget.
 func BenchmarkAblationPipeline(b *testing.B) {

@@ -1,0 +1,153 @@
+// Command epoch drives the real-engine parallel epoch runner: it
+// shards a uniform target workload into mini-batches, fans them out to
+// -threads OS-thread-pinned workers, and prints the aggregated
+// EpochStats — throughput, merged and per-worker I/O counters, and the
+// batch-latency histogram — plus the folded sample digest.
+//
+// With -invariance it reruns the identical workload at 1 and 2 threads
+// and diffs the per-batch digest streams against the -threads run,
+// demonstrating the thread-count-invariance guarantee on real I/O.
+//
+// Usage:
+//
+//	go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 -threads 8 -targets 4096
+//	go run ./cmd/epoch -targets 8192 -invariance   # generates a temporary R-MAT graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/gen"
+	"ringsampler/internal/graph"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+func genTemp(dir string, nodes, edges int64, seed uint64) (graph.Manifest, error) {
+	return gen.Generate(dir, "epoch-tmp", "rmat", nodes, edges, seed)
+}
+
+func main() {
+	var (
+		data       = flag.String("data", "", "dataset directory (empty: generate a temporary R-MAT graph)")
+		nodes      = flag.Int64("nodes", 50_000, "node count for the temporary graph (with empty -data)")
+		edges      = flag.Int64("edges", 800_000, "edge count for the temporary graph (with empty -data)")
+		threads    = flag.Int("threads", 0, "worker count (0: config default)")
+		batch      = flag.Int("batch", 0, "mini-batch size (0: config default)")
+		targets    = flag.Int("targets", 4096, "epoch target-node count")
+		seed       = flag.Uint64("seed", 1, "sampling seed")
+		backend    = flag.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
+		invariance = flag.Bool("invariance", false, "rerun at 1 and 2 threads and diff per-batch digests")
+	)
+	flag.Parse()
+
+	dir := *data
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ringsampler-epoch-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = filepath.Join(tmp, "g")
+		fmt.Printf("generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
+		if _, err := genTemp(dir, *nodes, *edges, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ds, err := storage.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	be, err := pickBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	if *batch > 0 {
+		cfg.BatchSize = *batch
+	}
+	fmt.Printf("dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), be)
+
+	rng := sample.NewRNG(sample.Mix(*seed, 0xe90c))
+	epochTargets := make([]uint32, *targets)
+	for i := range epochTargets {
+		epochTargets[i] = rng.Uint32n(uint32(ds.NumNodes()))
+	}
+
+	ref := runOnce(ds, cfg, be, epochTargets)
+	if !*invariance {
+		return
+	}
+	for _, th := range []int{1, 2} {
+		if th == cfg.Threads {
+			continue
+		}
+		c := cfg
+		c.Threads = th
+		st := runOnce(ds, c, be, epochTargets)
+		for i := range ref.Digests {
+			if ref.Digests[i] != st.Digests[i] {
+				log.Fatalf("thread-count invariance VIOLATED: batch %d digest differs between %d and %d threads",
+					i, cfg.Threads, th)
+			}
+		}
+		fmt.Printf("invariance: %d vs %d threads — all %d per-batch digests identical\n",
+			cfg.Threads, th, len(ref.Digests))
+	}
+}
+
+func runOnce(ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) *core.EpochStats {
+	s, err := core.New(ds, cfg, be)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := s.RunEpoch(targets, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var digest uint64
+	for _, d := range st.Digests {
+		digest = digest*0x100000001b3 ^ d
+	}
+	fmt.Printf("\nthreads %d: %d targets in %d batches, %.4fs\n", cfg.Threads, st.Targets, st.Batches, st.Seconds)
+	fmt.Printf("  sampled   %d entries (%.0f entries/s, %.2f MB/s)\n", st.Sampled, st.EntriesPerSec, st.BytesPerSec/(1<<20))
+	fmt.Printf("  io        %+v\n", st.IO)
+	for wid, ws := range st.PerWorker {
+		fmt.Printf("  worker %2d %+v\n", wid, ws)
+	}
+	fmt.Printf("  latency   p50 ≤ %v  p90 ≤ %v  p99 ≤ %v\n",
+		st.Latency.Quantile(0.50), st.Latency.Quantile(0.90), st.Latency.Quantile(0.99))
+	fmt.Printf("  buckets   %v\n", st.Latency.String())
+	fmt.Printf("  digest    %#016x\n", digest)
+	return st
+}
+
+func pickBackend(name string) (uring.Backend, error) {
+	switch name {
+	case "auto":
+		if uring.Probe() {
+			return uring.BackendIOURing, nil
+		}
+		return uring.BackendPool, nil
+	case "io_uring":
+		return uring.BackendIOURing, nil
+	case "pool":
+		return uring.BackendPool, nil
+	case "sim":
+		return uring.BackendSim, nil
+	default:
+		return "", fmt.Errorf("unknown backend %q", name)
+	}
+}

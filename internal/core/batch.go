@@ -1,5 +1,7 @@
 package core
 
+import "hash/fnv"
+
 // Layer holds one sampling layer of a mini-batch in CSR form: the
 // frontier nodes targeted at this layer, and each node's sampled
 // neighbors concatenated, delimited by Starts.
@@ -35,4 +37,40 @@ func (b *Batch) TotalSampled() int64 {
 		n += int64(len(b.Layers[i].Neighbors))
 	}
 	return n
+}
+
+// Digest folds the batch's complete sample structure — every layer's
+// targets, starts and neighbors — into an FNV-1a sum, so any single
+// differing byte changes the result. Byte-identical batches (and only
+// those, modulo hash collisions) share a digest; the epoch runner's
+// thread-invariance guarantee and the fault sweeps are asserted by
+// comparing streams of these.
+func (b *Batch) Digest() uint64 {
+	h := fnv.New64a()
+	var word [8]byte
+	put32 := func(v uint32) {
+		word[0], word[1], word[2], word[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(word[:4])
+	}
+	put64 := func(v int64) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			word[i] = byte(u >> (8 * i))
+		}
+		h.Write(word[:8])
+	}
+	for li := range b.Layers {
+		l := &b.Layers[li]
+		put64(int64(li))
+		for _, v := range l.Targets {
+			put32(v)
+		}
+		for _, v := range l.Starts {
+			put64(v)
+		}
+		for _, v := range l.Neighbors {
+			put32(v)
+		}
+	}
+	return h.Sum64()
 }

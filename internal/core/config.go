@@ -26,7 +26,11 @@ type Config struct {
 	// BatchSize is the number of target nodes per mini-batch.
 	BatchSize int
 	// Threads is the worker count for epoch runs (mini-batch-per-
-	// thread, Fig 3a).
+	// thread, Fig 3a): RunEpoch fans mini-batches out to this many
+	// OS-thread-pinned workers, and RunSim models the same distribution
+	// in virtual time. Output never depends on it — per-batch RNG
+	// reseeding makes the sampled stream identical at every thread
+	// count — only throughput does.
 	Threads int
 	// RingSize is the SQ depth of each worker's ring; one I/O group is
 	// at most one ring full (paper default 512).

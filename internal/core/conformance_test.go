@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"io"
+	"strings"
 	"syscall"
 	"testing"
 
@@ -214,6 +215,139 @@ func TestIOErrorShortReadUnwrap(t *testing.T) {
 	if e.Error() == "" {
 		t.Fatal("empty error string")
 	}
+}
+
+// truncRing simulates a file truncated under the reader: every
+// successful completion is rewritten to 0 bytes, exactly what pread(2)
+// returns at or past EOF. The retry budget must exhaust with the
+// short-read context preserved.
+type truncRing struct{ uring.Ring }
+
+func (r truncRing) Wait(min int) ([]uring.CQE, error) {
+	cqes, err := r.Ring.Wait(min)
+	for i := range cqes {
+		if cqes[i].Res > 0 {
+			cqes[i].Res = 0
+		}
+	}
+	return cqes, err
+}
+
+// TestRetryExhaustionShortRead: retry budgets exhausted by short reads
+// alone must surface an *IOError that says so — ShortRead set, zero
+// Errno, and a message naming the short-read exhaustion — instead of
+// the ambiguous zero-Errno error it used to produce.
+func TestRetryExhaustionShortRead(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.MaxIORetries = 3
+	cfg.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+		return truncRing{r}, nil
+	}
+	s, err := New(ds, cfg, uring.BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, err = w.SampleBatch(testTargets(ds, 8))
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("err = %v (%T), want *IOError", err, err)
+	}
+	if !ioe.ShortRead {
+		t.Fatalf("IOError.ShortRead = false, want true: %+v", ioe)
+	}
+	if ioe.Errno != 0 {
+		t.Fatalf("IOError.Errno = %v, want 0 for short-read exhaustion", ioe.Errno)
+	}
+	if ioe.Attempts != cfg.MaxIORetries {
+		t.Fatalf("Attempts = %d, want %d", ioe.Attempts, cfg.MaxIORetries)
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted by short reads") {
+		t.Fatalf("error message lost the short-read context: %q", err.Error())
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal("short-read IOError does not unwrap to io.ErrUnexpectedEOF")
+	}
+}
+
+// refuseRing breaks the never-refuse-while-idle contract outright:
+// PrepRead always returns false.
+type refuseRing struct{ uring.Ring }
+
+func (refuseRing) PrepRead(id uint64, off int64, buf []byte) bool { return false }
+
+// limitRing accepts only the first n PrepReads, then refuses forever —
+// combined with an all-transient fault plan it strands the retry queue
+// with nothing staged and nothing in flight.
+type limitRing struct {
+	uring.Ring
+	n int
+}
+
+func (r *limitRing) PrepRead(id uint64, off int64, buf []byte) bool {
+	if r.n <= 0 {
+		return false
+	}
+	if !r.Ring.PrepRead(id, off, buf) {
+		return false
+	}
+	r.n--
+	return true
+}
+
+// TestRingStallGuard: a contract-breaking ring that refuses to stage
+// while idle must surface ErrRingStalled instead of spinning forever —
+// both on the fresh-request path and with requests stranded in the
+// retry queue.
+func TestRingStallGuard(t *testing.T) {
+	ds := testDataset(t)
+	t.Run("refuses-fresh", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+			return refuseRing{r}, nil
+		}
+		s, err := New(ds, cfg, uring.BackendSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.NewWorker(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		_, err = w.SampleBatch(testTargets(ds, 8))
+		if !errors.Is(err, ErrRingStalled) {
+			t.Fatalf("err = %v, want ErrRingStalled", err)
+		}
+	})
+	t.Run("strands-retries", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+			fr, err := uring.NewFault(r, uring.FaultPlan{Seed: 5, TransientRate: 1})
+			if err != nil {
+				return nil, err
+			}
+			return &limitRing{Ring: fr, n: 4}, nil
+		}
+		s, err := New(ds, cfg, uring.BackendSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.NewWorker(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		_, err = w.SampleBatch(testTargets(ds, 8))
+		if !errors.Is(err, ErrRingStalled) {
+			t.Fatalf("err = %v, want ErrRingStalled", err)
+		}
+	})
 }
 
 // TestConfigRejectsNegativeRetries: validation satellite for the new

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"ringsampler/internal/sample"
+)
+
+// latencyBuckets is the fixed bucket count of LatencyHist: bucket i
+// counts batches whose latency fell in [2^i, 2^(i+1)) microseconds.
+// Bucket 0 also absorbs sub-microsecond batches and the last bucket
+// everything slower than ~2^23 µs (≈8.4 s) — far beyond any sane
+// mini-batch.
+const latencyBuckets = 24
+
+// LatencyHist is a fixed-bucket log2 histogram of per-batch sampling
+// latencies. Fixed buckets keep the epoch runner allocation-free on the
+// hot path and make histograms from different runs directly addable.
+type LatencyHist struct {
+	Counts [latencyBuckets]int64
+}
+
+// Observe records one batch latency.
+func (h *LatencyHist) Observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = bits.Len64(uint64(us)) - 1
+	}
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	h.Counts[b]++
+}
+
+// Total returns the number of observations.
+func (h *LatencyHist) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper bound for the q-quantile latency (the upper
+// edge of the bucket the quantile falls in). q outside (0,1] is
+// clamped; an empty histogram returns 0.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1 / float64(total)
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(q * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= need {
+			return time.Duration(int64(1)<<(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<latencyBuckets) * time.Microsecond
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "[64µs,128µs):12 [128µs,256µs):3".
+func (h *LatencyHist) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		lo := time.Duration(int64(1)<<i) * time.Microsecond
+		hi := time.Duration(int64(1)<<(i+1)) * time.Microsecond
+		fmt.Fprintf(&b, "[%v,%v):%d", lo, hi, c)
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
+}
+
+// EpochStats aggregates one RunEpoch: merged ring-level I/O counters,
+// the per-worker breakdown they were merged from, per-batch sample
+// digests (in batch order), a batch-latency histogram, and wall-clock
+// throughput. IO always equals the sum of PerWorker.
+type EpochStats struct {
+	// Batches is the number of mini-batches the target stream sharded
+	// into; Targets is the epoch's target-node count.
+	Batches int
+	Targets int
+	// Workers is how many workers actually ran: Config.Threads, capped
+	// by the batch count.
+	Workers int
+	// Sampled is the total sampled neighbor entries across all batches.
+	Sampled int64
+	// Digests holds each batch's sample digest in batch order. For a
+	// fixed (dataset, Config, seed, targets) this slice is identical at
+	// every thread count — the runner's determinism guarantee.
+	Digests []uint64
+	// IO is the merged ring-level I/O accounting; PerWorker is the
+	// per-worker breakdown (indexed by worker id).
+	IO        IOStats
+	PerWorker []IOStats
+	// Latency is the per-batch sampling latency histogram.
+	Latency LatencyHist
+	// Seconds is the wall-clock epoch duration; EntriesPerSec and
+	// BytesPerSec are the headline sampled-entry and device-byte
+	// throughputs derived from it.
+	Seconds       float64
+	EntriesPerSec float64
+	BytesPerSec   float64
+}
+
+// epochResult carries one finished mini-batch from a worker to the
+// collector.
+type epochResult struct {
+	index int
+	batch *Batch
+	lat   time.Duration
+	err   error
+}
+
+// RunEpoch samples every target through the real engine: the target
+// stream is sharded into Config.BatchSize mini-batches and fanned out
+// to Config.Threads workers, each pinned to its OS thread for the
+// worker's lifetime (io_uring's mmap'd SQ/CQ rings and the Go
+// scheduler interact badly when a ring migrates threads mid-submit).
+//
+// Output is thread-count-invariant: each batch's RNG is reseeded from
+// sample.Mix(Config.Seed, batchIndex) rather than from the worker id,
+// so Threads=1 and Threads=16 produce byte-identical Batch streams for
+// the same seed — regardless of which worker ran which batch or in
+// what order completions landed. Workers still contend for the device,
+// so throughput (not output) is what scales with Threads.
+//
+// onBatch, when non-nil, is called once per batch with its index —
+// strictly in batch order (0, 1, 2, ...), on the calling goroutine,
+// with out-of-order completions buffered until their turn. A handler
+// error aborts the epoch. Passing nil skips delivery; per-batch
+// digests are recorded in EpochStats either way.
+func (s *Sampler) RunEpoch(targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
+	cfg := &s.cfg
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: epoch needs at least one target")
+	}
+	numBatches := (len(targets) + cfg.BatchSize - 1) / cfg.BatchSize
+	workers := cfg.Threads
+	if numBatches < workers {
+		workers = numBatches
+	}
+
+	var (
+		idxCh = make(chan int)
+		resCh = make(chan epochResult, workers)
+		stop  = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	perWorker := make([]IOStats, workers)
+	start := time.Now()
+	go func() {
+		defer close(idxCh)
+		for bi := 0; bi < numBatches; bi++ {
+			select {
+			case idxCh <- bi:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			w, err := s.NewWorker(wid)
+			if err != nil {
+				select {
+				case resCh <- epochResult{index: -1, err: fmt.Errorf("core: epoch worker %d: %w", wid, err)}:
+				case <-stop:
+				}
+				return
+			}
+			defer func() {
+				perWorker[wid] = w.IOStats()
+				w.Close()
+			}()
+			for bi := range idxCh {
+				lo := bi * cfg.BatchSize
+				hi := lo + cfg.BatchSize
+				if hi > len(targets) {
+					hi = len(targets)
+				}
+				t0 := time.Now()
+				b, err := w.SampleBatchSeeded(targets[lo:hi], sample.Mix(cfg.Seed, uint64(bi)))
+				r := epochResult{index: bi, batch: b, lat: time.Since(t0), err: err}
+				if err != nil {
+					r.err = fmt.Errorf("core: epoch batch %d (worker %d): %w", bi, wid, err)
+				}
+				select {
+				case resCh <- r:
+				case <-stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(wid)
+	}
+
+	stats := &EpochStats{
+		Batches: numBatches,
+		Targets: len(targets),
+		Workers: workers,
+		Digests: make([]uint64, numBatches),
+	}
+	// In-order delivery: completions arrive in any order; pending parks
+	// the early ones until every predecessor has been handed out.
+	pending := make(map[int]*Batch)
+	nextDeliver := 0
+	var firstErr error
+collect:
+	for got := 0; got < numBatches; got++ {
+		r := <-resCh
+		if r.err != nil {
+			firstErr = r.err
+			break
+		}
+		stats.Latency.Observe(r.lat)
+		stats.Sampled += r.batch.TotalSampled()
+		stats.Digests[r.index] = r.batch.Digest()
+		if onBatch == nil {
+			continue
+		}
+		pending[r.index] = r.batch
+		for {
+			b, ok := pending[nextDeliver]
+			if !ok {
+				break
+			}
+			delete(pending, nextDeliver)
+			if err := onBatch(nextDeliver, b); err != nil {
+				firstErr = fmt.Errorf("core: epoch batch %d handler: %w", nextDeliver, err)
+				break collect
+			}
+			nextDeliver++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.Seconds = time.Since(start).Seconds()
+	for _, st := range perWorker {
+		stats.IO.Add(st)
+	}
+	stats.PerWorker = perWorker
+	if stats.Seconds > 0 {
+		stats.EntriesPerSec = float64(stats.Sampled) / stats.Seconds
+		stats.BytesPerSec = float64(stats.IO.BytesRead) / stats.Seconds
+	}
+	return stats, nil
+}

@@ -1,10 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"syscall"
 )
+
+// ErrRingStalled marks a ring that violated the never-refuse-while-idle
+// contract: the worker had reads outstanding (fresh or awaiting retry),
+// nothing staged and nothing in flight, yet the ring refused every
+// PrepRead and produced no completions — the iteration could not make
+// progress and would have spun forever. Surfaced wrapped with the
+// stalled request counts; match with errors.Is.
+var ErrRingStalled = errors.New("ring refused to stage while idle")
 
 // IOError is the structured error a worker surfaces when one ring read
 // cannot be completed: either a non-retryable errno came back, or the
@@ -23,12 +32,22 @@ type IOError struct {
 	// Errno is the final negated-errno result, or 0 when the retry
 	// budget was exhausted by short reads alone.
 	Errno syscall.Errno
+	// ShortRead records that the final completion before giving up was
+	// a short read — the device kept delivering truncated prefixes (or
+	// zero bytes, as reads at or past EOF do) until the retry budget ran
+	// out. It distinguishes a truncated-file/racing-writer condition
+	// from an errno failure without overloading Errno with a sentinel.
+	ShortRead bool
 }
 
 func (e *IOError) Error() string {
 	if e.Errno != 0 {
 		return fmt.Sprintf("core: read of %d bytes at offset %d failed after %d retries: %v",
 			e.Bytes, e.Offset, e.Attempts, e.Errno)
+	}
+	if e.ShortRead {
+		return fmt.Sprintf("core: read of %d bytes at offset %d: retry budget exhausted by short reads after %d attempts (truncated file or racing writer?)",
+			e.Bytes, e.Offset, e.Attempts)
 	}
 	return fmt.Sprintf("core: read of %d bytes at offset %d still short after %d retries",
 		e.Bytes, e.Offset, e.Attempts)
@@ -60,6 +79,16 @@ type IOStats struct {
 	ShortReads int64
 	// TransientErrs is how many completions returned -EINTR/-EAGAIN.
 	TransientErrs int64
+}
+
+// Add accumulates o's counters into s. The epoch runner uses it to
+// merge per-worker stats into EpochStats totals.
+func (s *IOStats) Add(o IOStats) {
+	s.Reads += o.Reads
+	s.BytesRead += o.BytesRead
+	s.Retries += o.Retries
+	s.ShortReads += o.ShortReads
+	s.TransientErrs += o.TransientErrs
 }
 
 // transientErrno reports whether errno is worth retrying: the request

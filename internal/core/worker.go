@@ -103,6 +103,17 @@ func (w *Worker) Close() error { return w.ring.Close() }
 // IOStats returns the worker's accumulated ring-level I/O counters.
 func (w *Worker) IOStats() IOStats { return w.stats }
 
+// SampleBatchSeeded reseeds the worker's RNG to NewRNG(seed) and then
+// samples one mini-batch. This is the epoch runner's path to
+// thread-count invariance: the sample set becomes a pure function of
+// (dataset, config, seed) — independent of which worker runs the batch
+// and of how many workers exist — where SampleBatch continues the
+// worker's rolling per-(Seed, id) stream.
+func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error) {
+	w.rng.Reseed(seed)
+	return w.SampleBatch(targets)
+}
+
 // SampleBatch samples the configured fanout layers for one mini-batch
 // of target nodes and returns the per-layer results. All sampling
 // decisions are made before any I/O is issued; what crosses the
@@ -324,7 +335,7 @@ func (w *Worker) issue(runs []ioRun, buf []byte) error {
 				rq.bufPos += int64(c.Res)
 				rq.remain -= int64(c.Res)
 				if rq.attempts >= maxRetries {
-					return &IOError{Offset: rq.off, Bytes: rq.remain, Attempts: rq.attempts}
+					return &IOError{Offset: rq.off, Bytes: rq.remain, Attempts: rq.attempts, ShortRead: true}
 				}
 				rq.attempts++
 				w.stats.Retries++
@@ -332,6 +343,14 @@ func (w *Worker) issue(runs []ioRun, buf []byte) error {
 			}
 		}
 		inflight -= len(cqes)
+		// Stall guard: with nothing staged, nothing in flight and no
+		// completions drained, the next iteration would replay this one
+		// verbatim — a ring violating the never-refuse-while-idle
+		// contract must surface as an error, not an infinite spin.
+		if staged == 0 && inflight == 0 && len(cqes) == 0 {
+			return fmt.Errorf("core: %d of %d reads complete, %d awaiting retry: %w",
+				completed, len(runs), len(w.retryQ), ErrRingStalled)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// EpochPoint is one thread count of the real-engine scaling sweep —
+// the real-I/O companion to the modeled Figure 8 thread sweep.
+type EpochPoint struct {
+	Threads int
+	Stats   core.EpochStats
+	// Digest is the folded per-batch digest stream; identical across
+	// every point of one sweep by construction (a mismatch aborts the
+	// sweep as a determinism bug).
+	Digest uint64
+}
+
+// EpochScaling runs one fixed epoch workload (o.Targets uniform target
+// nodes in o.BatchSize mini-batches, sampling seeded by seed) through
+// core.RunEpoch at each thread count on the real engine, and verifies
+// thread-count invariance as it goes: every point must reproduce the
+// first point's per-batch digest stream bit for bit. A divergence is a
+// correctness bug and surfaces as an error, not a data point.
+func EpochScaling(ds *storage.Dataset, o Options, backend uring.Backend, threads []int, seed uint64) ([]EpochPoint, error) {
+	if o.Targets <= 0 {
+		return nil, fmt.Errorf("exp: epoch scaling needs positive target count, got %d", o.Targets)
+	}
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("exp: epoch scaling needs at least one thread count")
+	}
+	rng := sample.NewRNG(sample.Mix(seed, 0xe90c))
+	targets := make([]uint32, o.Targets)
+	for i := range targets {
+		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
+	}
+
+	var ref []uint64
+	out := make([]EpochPoint, 0, len(threads))
+	for _, th := range threads {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Threads = th
+		if o.BatchSize > 0 {
+			cfg.BatchSize = o.BatchSize
+		}
+		s, err := core.New(ds, cfg, backend)
+		if err != nil {
+			return nil, fmt.Errorf("exp: epoch scaling at %d threads: %w", th, err)
+		}
+		st, err := s.RunEpoch(targets, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exp: epoch scaling at %d threads: %w", th, err)
+		}
+		if ref == nil {
+			ref = st.Digests
+		} else {
+			if len(ref) != len(st.Digests) {
+				return nil, fmt.Errorf("exp: %d threads produced %d batches, reference has %d",
+					th, len(st.Digests), len(ref))
+			}
+			for i := range ref {
+				if ref[i] != st.Digests[i] {
+					return nil, fmt.Errorf("exp: thread-count invariance violated: batch %d digest differs at %d threads (%#x vs %#x)",
+						i, th, st.Digests[i], ref[i])
+				}
+			}
+		}
+		var digest uint64
+		for _, d := range st.Digests {
+			digest = foldDigest(digest, d)
+		}
+		out = append(out, EpochPoint{Threads: th, Stats: *st, Digest: digest})
+	}
+	return out, nil
+}

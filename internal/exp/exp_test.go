@@ -167,6 +167,11 @@ func TestRunSystemLabels(t *testing.T) {
 		if r.Err != nil && !r.OOM {
 			t.Fatalf("%s: unexpected error: %v", sys, r.Err)
 		}
+		// Out-of-core baselines move data across the device boundary;
+		// a zero count means the stub forgot to model it.
+		if (sys == "Marius" || sys == "SmartSSD") && r.Err == nil && r.DeviceBytes == 0 {
+			t.Fatalf("%s reports zero device traffic", sys)
+		}
 	}
 	if r := RunSystem(ds, "NoSuchSystem", o, 0, core.DefaultFanouts); r.Err == nil {
 		t.Fatal("unknown system accepted")
@@ -251,6 +256,39 @@ func assertFaultPoints(t *testing.T, points []FaultPoint) {
 		}
 		if pt.Rate > 0 && pt.IO.Retries == 0 {
 			t.Fatalf("rate %v: faults injected but no retries recorded", pt.Rate)
+		}
+	}
+}
+
+// TestEpochScalingInvariance: the real-engine thread sweep on the
+// checked-in dataset — every thread count must reproduce the same
+// per-batch digest stream (EpochScaling errors out otherwise), with
+// sane stats at every point.
+func TestEpochScalingInvariance(t *testing.T) {
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	o := Options{Targets: 256, BatchSize: 64}
+	points, err := EpochScaling(ds, o, uring.BackendPool, []int{1, 2, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	for _, pt := range points {
+		t.Logf("threads %d: %.0f entries/s, io %+v", pt.Threads, pt.Stats.EntriesPerSec, pt.Stats.IO)
+		if pt.Stats.Sampled == 0 || pt.Stats.Batches != 4 {
+			t.Fatalf("threads %d: degenerate stats %+v", pt.Threads, pt.Stats)
+		}
+		if pt.Digest != points[0].Digest {
+			t.Fatalf("threads %d: folded digest differs", pt.Threads)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"ringsampler/internal/core"
@@ -113,7 +112,7 @@ func faultRun(ds *storage.Dataset, o Options, backend uring.Backend, rate float6
 	for i := range targets {
 		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
 	}
-	h := fnv.New64a()
+	var digest uint64
 	var entries int64
 	start := time.Now()
 	for at := 0; at < len(targets); at += cfg.BatchSize {
@@ -126,7 +125,7 @@ func faultRun(ds *storage.Dataset, o Options, backend uring.Backend, rate float6
 			return 0, FaultPoint{}, err
 		}
 		entries += b.TotalSampled()
-		digestBatch(h, b)
+		digest = foldDigest(digest, b.Digest())
 	}
 	secs := time.Since(start).Seconds()
 	p := FaultPoint{
@@ -141,35 +140,15 @@ func faultRun(ds *storage.Dataset, o Options, backend uring.Backend, rate float6
 	if faultRing != nil {
 		p.Injected, _ = uring.Faults(faultRing)
 	}
-	return h.Sum64(), p, nil
+	return digest, p, nil
 }
 
-// digestBatch folds every layer's targets, starts and neighbors into h
-// so any single corrupted byte changes the digest.
-func digestBatch(h interface{ Write([]byte) (int, error) }, b *core.Batch) {
-	var word [8]byte
-	put32 := func(v uint32) {
-		word[0], word[1], word[2], word[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-		h.Write(word[:4])
+// foldDigest chains per-batch digests (core.Batch.Digest) into one
+// stream digest, FNV-1a style so batch order matters.
+func foldDigest(acc, d uint64) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < 8; i++ {
+		acc = (acc ^ (d >> (8 * i) & 0xff)) * prime
 	}
-	put64 := func(v int64) {
-		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			word[i] = byte(u >> (8 * i))
-		}
-		h.Write(word[:8])
-	}
-	for li := range b.Layers {
-		l := &b.Layers[li]
-		put64(int64(li))
-		for _, v := range l.Targets {
-			put32(v)
-		}
-		for _, v := range l.Starts {
-			put64(v)
-		}
-		for _, v := range l.Neighbors {
-			put32(v)
-		}
-	}
+	return acc
 }

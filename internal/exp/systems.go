@@ -171,12 +171,15 @@ func runStub(ds *storage.Dataset, system string, sc core.SimConfig) Result {
 		res.ModeledSeconds = float64(w.FullFetchBytes)/stubSSDLinkBps + entries*stubFPGAEntrySec
 	case "Marius":
 		// Partition-buffer out-of-core sampling: partitions resident
-		// in memory, steep epoch cost from partition swaps.
+		// in memory, steep epoch cost from partition swaps. Swapped
+		// partitions carry full adjacency lists across the device
+		// boundary, so the full-fetch byte count of the workload walk
+		// is the device traffic floor.
 		if oom(paperEdgeBytes / 4) {
 			return res
 		}
-		ring := core.RunSim(ds, device.NVMe(), stats)
-		res.ModeledSeconds = ring.ModeledSeconds * stubMariusFactor
+		res.DeviceBytes = w.FullFetchBytes
+		res.ModeledSeconds = w.ModeledSeconds * stubMariusFactor
 	default:
 		res.Err = fmt.Errorf("exp: unknown system %q", system)
 	}

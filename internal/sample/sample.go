@@ -30,6 +30,13 @@ func NewRNG(seed uint64) RNG {
 	return RNG{state: seed}
 }
 
+// Reseed resets the generator to the state NewRNG(seed) would produce,
+// discarding any consumed stream. The epoch runner reseeds a worker's
+// RNG from Mix(seed, batchIndex) before every mini-batch so the drawn
+// samples depend only on the batch index, never on which worker (or
+// how many workers) happened to run it.
+func (r *RNG) Reseed(seed uint64) { *r = NewRNG(seed) }
+
 // Mix combines a seed with a stream index (batch number, thread id,
 // request id ...) into an independent-looking seed, splitmix64-style.
 func Mix(seed, stream uint64) uint64 {

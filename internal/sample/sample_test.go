@@ -83,6 +83,30 @@ func TestRNGDeterministicAndMixStreams(t *testing.T) {
 	}
 }
 
+// TestReseedRestoresStream: Reseed fully discards consumed state — a
+// reseeded generator replays NewRNG(seed) exactly, which is what makes
+// per-batch reseeding erase worker history in the epoch runner.
+func TestReseedRestoresStream(t *testing.T) {
+	fresh := NewRNG(42)
+	used := NewRNG(7)
+	for i := 0; i < 57; i++ {
+		used.Next()
+	}
+	used.Reseed(42)
+	for i := 0; i < 100; i++ {
+		if fresh.Next() != used.Next() {
+			t.Fatalf("reseeded stream diverged at draw %d", i)
+		}
+	}
+	// Zero-seed remapping applies through Reseed too.
+	var a, b RNG
+	a = NewRNG(0)
+	b.Reseed(0)
+	if a.Next() != b.Next() {
+		t.Fatal("Reseed(0) disagrees with NewRNG(0)")
+	}
+}
+
 func TestIntnBounds(t *testing.T) {
 	r := NewRNG(3)
 	for i := 0; i < 1000; i++ {

@@ -8,9 +8,15 @@
 //	ds, err := ringsampler.Open("data/g")
 //	defer ds.Close()
 //	s, err := ringsampler.NewSampler(ds, ringsampler.DefaultConfig())
-//	w, err := s.NewWorker(0)
-//	defer w.Close()
-//	batch, err := w.SampleBatch([]uint32{1, 2, 3})
+//	stats, err := ringsampler.RunEpoch(s, targets, func(i int, b *ringsampler.Batch) error {
+//		return train(b) // batches arrive strictly in order
+//	})
+//
+// RunEpoch fans mini-batches out across Config.Threads OS-thread-pinned
+// workers and is thread-count-invariant: the sampled stream is a pure
+// function of (dataset, config, seed, targets). For single-batch or
+// custom scheduling, drive a Worker directly via s.NewWorker +
+// w.SampleBatch.
 package ringsampler
 
 import (
@@ -28,12 +34,14 @@ type Dataset = storage.Dataset
 type Config = core.Config
 
 // Sampler is the engine; Worker is one sampling thread with a private
-// ring; Batch is one mini-batch's layered sample result.
+// ring; Batch is one mini-batch's layered sample result; EpochStats is
+// the aggregated result of a RunEpoch.
 type (
-	Sampler = core.Sampler
-	Worker  = core.Worker
-	Batch   = core.Batch
-	Layer   = core.Layer
+	Sampler    = core.Sampler
+	Worker     = core.Worker
+	Batch      = core.Batch
+	Layer      = core.Layer
+	EpochStats = core.EpochStats
 )
 
 // DefaultConfig returns the paper's default configuration: fanouts
@@ -63,4 +71,15 @@ func NewSampler(ds *Dataset, cfg Config) (*Sampler, error) {
 		be = uring.BackendIOURing
 	}
 	return core.New(ds, cfg, be)
+}
+
+// RunEpoch samples every target through s: the stream is sharded into
+// Config.BatchSize mini-batches fanned out to Config.Threads
+// OS-thread-pinned workers. Output is thread-count-invariant — each
+// batch's RNG is reseeded from (Config.Seed, batchIndex), so the same
+// (dataset, config, seed, targets) yields a byte-identical Batch
+// stream at every thread count. onBatch (optional, may be nil) is
+// invoked strictly in batch order on the calling goroutine.
+func RunEpoch(s *Sampler, targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
+	return s.RunEpoch(targets, onBatch)
 }

@@ -17,6 +17,14 @@ fi
 
 go vet ./...
 go build ./...
+
+# Thread-count invariance: the epoch runner must produce byte-identical
+# per-batch sample digests at Threads=1,2,8 (the test runs all three and
+# diffs the digest streams; -race also sweeps the fan-out for races).
+# Also part of the full suite below — run first so a determinism break
+# fails loudly and early.
+go test -race -run 'TestEpochThreadInvariance|TestEpochScalingInvariance' ./internal/core ./internal/exp
+
 if [ "${QUICK:-0}" = "1" ]; then
     go test -race -short ./...
 else
