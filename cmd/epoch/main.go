@@ -8,15 +8,24 @@
 // and diffs the per-batch digest streams against the -threads run,
 // demonstrating the thread-count-invariance guarantee on real I/O.
 //
+// -cache-mb pins the hottest neighbor lists in a memory-budgeted cache
+// (see DESIGN.md §7); digests are identical with the cache on or off.
+// -bench-json additionally reruns the workload at cache budgets 0 and
+// 64 MiB and writes the machine-readable throughput summary the bench
+// harness tracks.
+//
 // Usage:
 //
 //	go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 -threads 8 -targets 4096
 //	go run ./cmd/epoch -targets 8192 -invariance   # generates a temporary R-MAT graph
+//	go run ./cmd/epoch -targets 4096 -cache-mb 64 -bench-json benchdata/BENCH_epoch.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -33,52 +42,74 @@ func genTemp(dir string, nodes, edges int64, seed uint64) (graph.Manifest, error
 	return gen.Generate(dir, "epoch-tmp", "rmat", nodes, edges, seed)
 }
 
+// testWrapRing, when non-nil, decorates each run's rings keyed by that
+// run's thread count. It exists so the CLI tests can perturb a single
+// read in one run of an -invariance pair and assert the command fails;
+// production runs never set it.
+var testWrapRing func(threads int) func(uring.Ring, int) (uring.Ring, error)
+
 func main() {
+	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("epoch", flag.ContinueOnError)
 	var (
-		data       = flag.String("data", "", "dataset directory (empty: generate a temporary R-MAT graph)")
-		nodes      = flag.Int64("nodes", 50_000, "node count for the temporary graph (with empty -data)")
-		edges      = flag.Int64("edges", 800_000, "edge count for the temporary graph (with empty -data)")
-		threads    = flag.Int("threads", 0, "worker count (0: config default)")
-		batch      = flag.Int("batch", 0, "mini-batch size (0: config default)")
-		targets    = flag.Int("targets", 4096, "epoch target-node count")
-		seed       = flag.Uint64("seed", 1, "sampling seed")
-		backend    = flag.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
-		invariance = flag.Bool("invariance", false, "rerun at 1 and 2 threads and diff per-batch digests")
+		data       = fs.String("data", "", "dataset directory (empty: generate a temporary R-MAT graph)")
+		nodes      = fs.Int64("nodes", 50_000, "node count for the temporary graph (with empty -data)")
+		edges      = fs.Int64("edges", 800_000, "edge count for the temporary graph (with empty -data)")
+		threads    = fs.Int("threads", 0, "worker count (0: config default)")
+		batch      = fs.Int("batch", 0, "mini-batch size (0: config default)")
+		targets    = fs.Int("targets", 4096, "epoch target-node count")
+		seed       = fs.Uint64("seed", 1, "sampling seed")
+		backend    = fs.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
+		invariance = fs.Bool("invariance", false, "rerun at 1 and 2 threads and diff per-batch digests")
+		cacheMB    = fs.Int64("cache-mb", 0, "hot-neighbor cache budget in MiB (0: cache off)")
+		benchJSON  = fs.String("bench-json", "", "write a JSON throughput summary at cache budgets 0 and 64 MiB to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cacheMB < 0 {
+		return fmt.Errorf("-cache-mb %d must be non-negative", *cacheMB)
+	}
+	be, err := pickBackend(*backend)
+	if err != nil {
+		return err
+	}
 
 	dir := *data
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "ringsampler-epoch-")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer os.RemoveAll(tmp)
 		dir = filepath.Join(tmp, "g")
-		fmt.Printf("generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
+		fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
 		if _, err := genTemp(dir, *nodes, *edges, *seed); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	ds, err := storage.Open(dir)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer ds.Close()
 
-	be, err := pickBackend(*backend)
-	if err != nil {
-		log.Fatal(err)
-	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.CacheBudgetBytes = *cacheMB << 20
 	if *threads > 0 {
 		cfg.Threads = *threads
 	}
 	if *batch > 0 {
 		cfg.BatchSize = *batch
 	}
-	fmt.Printf("dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), be)
+	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), be)
 
 	rng := sample.NewRNG(sample.Mix(*seed, 0xe90c))
 	epochTargets := make([]uint32, *targets)
@@ -86,52 +117,138 @@ func main() {
 		epochTargets[i] = rng.Uint32n(uint32(ds.NumNodes()))
 	}
 
-	ref := runOnce(ds, cfg, be, epochTargets)
-	if !*invariance {
-		return
+	ref, err := runOnce(out, ds, cfg, be, epochTargets)
+	if err != nil {
+		return err
 	}
-	for _, th := range []int{1, 2} {
-		if th == cfg.Threads {
-			continue
-		}
-		c := cfg
-		c.Threads = th
-		st := runOnce(ds, c, be, epochTargets)
-		for i := range ref.Digests {
-			if ref.Digests[i] != st.Digests[i] {
-				log.Fatalf("thread-count invariance VIOLATED: batch %d digest differs between %d and %d threads",
-					i, cfg.Threads, th)
+	if *invariance {
+		for _, th := range []int{1, 2} {
+			if th == cfg.Threads {
+				continue
 			}
+			c := cfg
+			c.Threads = th
+			st, err := runOnce(out, ds, c, be, epochTargets)
+			if err != nil {
+				return err
+			}
+			for i := range ref.Digests {
+				if ref.Digests[i] != st.Digests[i] {
+					return fmt.Errorf("thread-count invariance VIOLATED: batch %d digest differs between %d and %d threads",
+						i, cfg.Threads, th)
+				}
+			}
+			fmt.Fprintf(out, "invariance: %d vs %d threads — all %d per-batch digests identical\n",
+				cfg.Threads, th, len(ref.Digests))
 		}
-		fmt.Printf("invariance: %d vs %d threads — all %d per-batch digests identical\n",
-			cfg.Threads, th, len(ref.Digests))
 	}
+	if *benchJSON != "" {
+		return writeBenchJSON(out, *benchJSON, dir, ds, cfg, be, epochTargets)
+	}
+	return nil
 }
 
-func runOnce(ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) *core.EpochStats {
+func runOnce(out io.Writer, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) (*core.EpochStats, error) {
+	if testWrapRing != nil {
+		cfg.WrapRing = testWrapRing(cfg.Threads)
+	}
 	s, err := core.New(ds, cfg, be)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	st, err := s.RunEpoch(targets, nil)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	var digest uint64
 	for _, d := range st.Digests {
 		digest = digest*0x100000001b3 ^ d
 	}
-	fmt.Printf("\nthreads %d: %d targets in %d batches, %.4fs\n", cfg.Threads, st.Targets, st.Batches, st.Seconds)
-	fmt.Printf("  sampled   %d entries (%.0f entries/s, %.2f MB/s)\n", st.Sampled, st.EntriesPerSec, st.BytesPerSec/(1<<20))
-	fmt.Printf("  io        %+v\n", st.IO)
-	for wid, ws := range st.PerWorker {
-		fmt.Printf("  worker %2d %+v\n", wid, ws)
+	fmt.Fprintf(out, "\nthreads %d: %d targets in %d batches, %.4fs\n", cfg.Threads, st.Targets, st.Batches, st.Seconds)
+	fmt.Fprintf(out, "  sampled   %d entries (%.0f entries/s, %.2f MB/s)\n", st.Sampled, st.EntriesPerSec, st.BytesPerSec/(1<<20))
+	if cfg.CacheBudgetBytes > 0 {
+		cn, cb := s.CacheInfo()
+		fmt.Fprintf(out, "  cache     pinned %d nodes / %d B under a %d B budget; %d hits / %d misses, %d B served\n",
+			cn, cb, cfg.CacheBudgetBytes, st.IO.CacheHits, st.IO.CacheMisses, st.IO.CacheBytes)
 	}
-	fmt.Printf("  latency   p50 ≤ %v  p90 ≤ %v  p99 ≤ %v\n",
+	fmt.Fprintf(out, "  io        %+v\n", st.IO)
+	for wid, ws := range st.PerWorker {
+		fmt.Fprintf(out, "  worker %2d %+v\n", wid, ws)
+	}
+	fmt.Fprintf(out, "  latency   p50 ≤ %v  p90 ≤ %v  p99 ≤ %v\n",
 		st.Latency.Quantile(0.50), st.Latency.Quantile(0.90), st.Latency.Quantile(0.99))
-	fmt.Printf("  buckets   %v\n", st.Latency.String())
-	fmt.Printf("  digest    %#016x\n", digest)
-	return st
+	fmt.Fprintf(out, "  buckets   %v\n", st.Latency.String())
+	fmt.Fprintf(out, "  digest    %#016x\n", digest)
+	return st, nil
+}
+
+// benchPoint is one cache budget of the -bench-json summary.
+type benchPoint struct {
+	CacheMB       int64   `json:"cache_mb"`
+	CacheNodes    int     `json:"cache_nodes"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	EntriesPerSec float64 `json:"entries_per_sec"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	DeviceBytes   int64   `json:"device_bytes"`
+	Sampled       int64   `json:"sampled_entries"`
+}
+
+type benchFile struct {
+	Dataset   string       `json:"dataset"`
+	Backend   string       `json:"backend"`
+	Threads   int          `json:"threads"`
+	BatchSize int          `json:"batch_size"`
+	Targets   int          `json:"targets"`
+	Points    []benchPoint `json:"points"`
+}
+
+// writeBenchJSON reruns the workload at cache budgets 0 and 64 MiB and
+// writes the throughput/hit-rate summary the bench harness diffs across
+// commits (benchdata/BENCH_epoch.json in CI).
+func writeBenchJSON(out io.Writer, path, dir string, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) error {
+	bf := benchFile{
+		Dataset:   dir,
+		Backend:   string(be),
+		Threads:   cfg.Threads,
+		BatchSize: cfg.BatchSize,
+		Targets:   len(targets),
+	}
+	for _, mb := range []int64{0, 64} {
+		c := cfg
+		c.CacheBudgetBytes = mb << 20
+		if testWrapRing != nil {
+			c.WrapRing = testWrapRing(c.Threads)
+		}
+		s, err := core.New(ds, c, be)
+		if err != nil {
+			return err
+		}
+		st, err := s.RunEpoch(targets, nil)
+		if err != nil {
+			return err
+		}
+		p := benchPoint{
+			CacheMB:       mb,
+			EntriesPerSec: st.EntriesPerSec,
+			BytesPerSec:   st.BytesPerSec,
+			DeviceBytes:   st.IO.BytesRead,
+			Sampled:       st.Sampled,
+		}
+		p.CacheNodes, _ = s.CacheInfo()
+		if lookups := st.IO.CacheHits + st.IO.CacheMisses; lookups > 0 {
+			p.CacheHitRate = float64(st.IO.CacheHits) / float64(lookups)
+		}
+		bf.Points = append(bf.Points, p)
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench summary written to %s\n", path)
+	return nil
 }
 
 func pickBackend(name string) (uring.Backend, error) {

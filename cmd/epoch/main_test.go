@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ringsampler/internal/gen"
+	"ringsampler/internal/uring"
+)
+
+// testGraphDir generates a small R-MAT graph once per test.
+func testGraphDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "g")
+	if _, err := gen.Generate(dir, "cli-test", "rmat", 2000, 30000, 11); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// flipRing corrupts exactly one successful read: the low byte of the
+// first completed buffer is XOR-ed with 1, nudging one sampled neighbor
+// id by ±1 — the smallest perturbation a digest diff must catch.
+type flipRing struct {
+	inner uring.Ring
+	bufs  map[uint64][]byte
+	done  bool
+}
+
+func (r *flipRing) PrepRead(id uint64, off int64, buf []byte) bool {
+	if !r.inner.PrepRead(id, off, buf) {
+		return false
+	}
+	r.bufs[id] = buf
+	return true
+}
+func (r *flipRing) Submit() (int, error) { return r.inner.Submit() }
+func (r *flipRing) Entries() int         { return r.inner.Entries() }
+func (r *flipRing) Close() error         { return r.inner.Close() }
+
+func (r *flipRing) Wait(min int) ([]uring.CQE, error) {
+	cqes, err := r.inner.Wait(min)
+	for _, c := range cqes {
+		if !r.done && c.Res > 0 {
+			r.bufs[c.ID][0] ^= 1
+			r.done = true
+		}
+	}
+	return cqes, err
+}
+
+// TestRunInvarianceHappyPath: the full pipeline — including the cache —
+// passes the invariance diff and exits cleanly.
+func TestRunInvarianceHappyPath(t *testing.T) {
+	dir := testGraphDir(t)
+	err := run([]string{
+		"-data", dir, "-backend", "sim", "-targets", "256", "-batch", "64",
+		"-threads", "4", "-cache-mb", "1", "-invariance",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunInvarianceDetectsPerturbation: when one read in the -threads
+// run is perturbed (and the 1/2-thread reruns are clean), -invariance
+// must fail — the non-zero-exit contract CI relies on. main wraps the
+// returned error in log.Fatal, so a non-nil error IS a non-zero exit.
+func TestRunInvarianceDetectsPerturbation(t *testing.T) {
+	dir := testGraphDir(t)
+	testWrapRing = func(threads int) func(uring.Ring, int) (uring.Ring, error) {
+		if threads != 4 {
+			return nil // reruns at 1 and 2 threads stay clean
+		}
+		return func(r uring.Ring, workerID int) (uring.Ring, error) {
+			return &flipRing{inner: r, bufs: make(map[uint64][]byte)}, nil
+		}
+	}
+	defer func() { testWrapRing = nil }()
+	err := run([]string{
+		"-data", dir, "-backend", "sim", "-targets", "256", "-batch", "64",
+		"-threads", "4", "-invariance",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("perturbed -invariance run exited clean")
+	}
+	if !strings.Contains(err.Error(), "invariance VIOLATED") {
+		t.Fatalf("err = %v, want an invariance violation", err)
+	}
+}
+
+// TestRunBenchJSON: -bench-json writes the two-point (0 and 64 MiB)
+// summary; 64 MiB swallows the whole test graph, so the cached point
+// must show a full hit rate and zero device bytes.
+func TestRunBenchJSON(t *testing.T) {
+	dir := testGraphDir(t)
+	path := filepath.Join(t.TempDir(), "BENCH_epoch.json")
+	err := run([]string{
+		"-data", dir, "-backend", "pool", "-targets", "256", "-batch", "64",
+		"-threads", "2", "-bench-json", path,
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(bf.Points) != 2 || bf.Points[0].CacheMB != 0 || bf.Points[1].CacheMB != 64 {
+		t.Fatalf("unexpected points: %+v", bf.Points)
+	}
+	p0, p64 := bf.Points[0], bf.Points[1]
+	if p0.EntriesPerSec <= 0 || p64.EntriesPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", bf.Points)
+	}
+	if p0.CacheHitRate != 0 || p0.CacheNodes != 0 {
+		t.Fatalf("cache-off point reports cache activity: %+v", p0)
+	}
+	if p64.CacheHitRate != 1 || p64.DeviceBytes != 0 {
+		t.Fatalf("64 MiB point should fully cache the test graph: %+v", p64)
+	}
+	if p0.Sampled != p64.Sampled {
+		t.Fatalf("cache changed the sampled-entry count: %d vs %d", p0.Sampled, p64.Sampled)
+	}
+}
+
+// TestRunRejectsBadFlags: flag-level errors surface as errors (non-zero
+// exit), not silent acceptance.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-backend", "nope"}, io.Discard); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"-cache-mb", "-3"}, io.Discard); err == nil {
+		t.Fatal("negative cache budget accepted")
+	}
+}

@@ -49,6 +49,14 @@ type Config struct {
 	// remaining byte range) before the worker surfaces a structured
 	// *IOError. 0 disables retries entirely.
 	MaxIORetries int
+	// CacheBudgetBytes is the memory budget (bytes, accounted through
+	// memctl) for the hot-neighbor cache: the complete neighbor lists of
+	// the highest-degree nodes, pinned at sampler construction and
+	// consulted before any read is planned, so cached nodes never touch
+	// the ring. 0 (the default) disables the cache. Sampling decisions
+	// are identical with the cache on or off — only device traffic
+	// changes — so Batch digests never depend on this knob.
+	CacheBudgetBytes int64
 	// WrapRing, when non-nil, wraps each worker's ring right after
 	// construction — the hook fault-injection tests and resilience
 	// experiments use to interpose uring.NewFault (or any other
@@ -91,6 +99,9 @@ func (c *Config) validate() error {
 	}
 	if c.MaxIORetries < 0 {
 		return fmt.Errorf("core: max I/O retries %d must be non-negative", c.MaxIORetries)
+	}
+	if c.CacheBudgetBytes < 0 {
+		return fmt.Errorf("core: cache budget %d must be non-negative", c.CacheBudgetBytes)
 	}
 	return nil
 }

@@ -45,29 +45,30 @@ func TestCrossBackendConformance(t *testing.T) {
 	mild := uring.FaultPlan{Seed: 100, ShortReadRate: 0.03, TransientRate: 0.02, RejectRate: 0.05, DelayRate: 0.1}
 	nasty := uring.FaultPlan{Seed: 200, ShortReadRate: 0.2, TransientRate: 0.1, RejectRate: 0.15, DelayRate: 0.25, MaxDelay: 5}
 
-	cases := []struct {
+	type confCase struct {
 		name    string
 		backend uring.Backend
 		wrap    func(uring.Ring, int) (uring.Ring, error)
-	}{
-		{"pool", uring.BackendPool, nil},
-		{"fault-sim-mild", uring.BackendSim, faultWrap(mild)},
-		{"fault-sim-nasty", uring.BackendSim, faultWrap(nasty)},
-		{"fault-pool-mild", uring.BackendPool, faultWrap(mild)},
-		{"fault-pool-nasty", uring.BackendPool, faultWrap(nasty)},
+		cache   int64
+	}
+	cases := []confCase{
+		{"pool", uring.BackendPool, nil, 0},
+		{"fault-sim-mild", uring.BackendSim, faultWrap(mild), 0},
+		{"fault-sim-nasty", uring.BackendSim, faultWrap(nasty), 0},
+		{"fault-pool-mild", uring.BackendPool, faultWrap(mild), 0},
+		{"fault-pool-nasty", uring.BackendPool, faultWrap(nasty), 0},
+		// Hot-neighbor cache variants: hits bypass the ring entirely,
+		// misses take the (possibly fault-injected) read path — the
+		// digest must not move either way.
+		{"cache-pool", uring.BackendPool, nil, 48 << 10},
+		{"cache-fault-sim-nasty", uring.BackendSim, faultWrap(nasty), 48 << 10},
+		{"cache-fault-pool-mild", uring.BackendPool, faultWrap(mild), 48 << 10},
 	}
 	if uring.Probe() {
 		cases = append(cases,
-			struct {
-				name    string
-				backend uring.Backend
-				wrap    func(uring.Ring, int) (uring.Ring, error)
-			}{"io_uring", uring.BackendIOURing, nil},
-			struct {
-				name    string
-				backend uring.Backend
-				wrap    func(uring.Ring, int) (uring.Ring, error)
-			}{"fault-io_uring", uring.BackendIOURing, faultWrap(mild)},
+			confCase{"io_uring", uring.BackendIOURing, nil, 0},
+			confCase{"fault-io_uring", uring.BackendIOURing, faultWrap(mild), 0},
+			confCase{"cache-fault-io_uring", uring.BackendIOURing, faultWrap(mild), 48 << 10},
 		)
 	} else {
 		t.Log("io_uring unavailable; real backend skipped")
@@ -77,6 +78,7 @@ func TestCrossBackendConformance(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			cc := cfg
 			cc.WrapRing = c.wrap
+			cc.CacheBudgetBytes = c.cache
 			s, err := New(ds, cc, c.backend)
 			if err != nil {
 				t.Fatal(err)
@@ -91,6 +93,9 @@ func TestCrossBackendConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertBatchesEqual(t, ref, got, c.name)
+			if c.cache > 0 && w.IOStats().CacheHits == 0 {
+				t.Fatal("cache-enabled run recorded no hits — budget too small to prove anything")
+			}
 			if c.wrap != nil {
 				st := w.IOStats()
 				fs, _ := uring.Faults(w.ring)

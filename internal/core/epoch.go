@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"strings"
@@ -48,8 +49,10 @@ func (h *LatencyHist) Total() int64 {
 }
 
 // Quantile returns an upper bound for the q-quantile latency (the upper
-// edge of the bucket the quantile falls in). q outside (0,1] is
-// clamped; an empty histogram returns 0.
+// edge of the bucket the quantile falls in). The rank is the ceiling of
+// q·total — the standard nearest-rank definition — so the median of 3
+// observations is the 2nd, not the 1st. q outside (0,1] is clamped; an
+// empty histogram returns 0.
 func (h *LatencyHist) Quantile(q float64) time.Duration {
 	total := h.Total()
 	if total == 0 {
@@ -61,9 +64,12 @@ func (h *LatencyHist) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	need := int64(q * float64(total))
+	need := int64(math.Ceil(q * float64(total)))
 	if need < 1 {
 		need = 1
+	}
+	if need > total {
+		need = total
 	}
 	var seen int64
 	for i, c := range h.Counts {
@@ -76,7 +82,9 @@ func (h *LatencyHist) Quantile(q float64) time.Duration {
 }
 
 // String renders the non-empty buckets compactly, e.g.
-// "[64µs,128µs):12 [128µs,256µs):3".
+// "[0,2µs):2 [64µs,128µs):12". Bucket 0 is labeled [0,2µs) because it
+// absorbs sub-microsecond batches alongside the nominal [1µs,2µs)
+// range.
 func (h *LatencyHist) String() string {
 	var b strings.Builder
 	for i, c := range h.Counts {
@@ -86,9 +94,12 @@ func (h *LatencyHist) String() string {
 		if b.Len() > 0 {
 			b.WriteByte(' ')
 		}
-		lo := time.Duration(int64(1)<<i) * time.Microsecond
+		lo := (time.Duration(int64(1)<<i) * time.Microsecond).String()
+		if i == 0 {
+			lo = "0"
+		}
 		hi := time.Duration(int64(1)<<(i+1)) * time.Microsecond
-		fmt.Fprintf(&b, "[%v,%v):%d", lo, hi, c)
+		fmt.Fprintf(&b, "[%s,%v):%d", lo, hi, c)
 	}
 	if b.Len() == 0 {
 		return "(empty)"

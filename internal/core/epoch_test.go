@@ -276,3 +276,45 @@ func TestLatencyHist(t *testing.T) {
 		t.Fatal("empty histogram misrendered")
 	}
 }
+
+// TestLatencyHistMedianOfThree pins the nearest-rank fix: the rank is
+// ceil(q·total), so the median of 3 observations is the 2nd. The old
+// truncating rank returned the 1st — a median below two thirds of the
+// samples.
+func TestLatencyHistMedianOfThree(t *testing.T) {
+	var h LatencyHist
+	h.Observe(1 * time.Microsecond)   // bucket 0, upper edge 2µs
+	h.Observe(40 * time.Microsecond)  // bucket 5, upper edge 64µs
+	h.Observe(900 * time.Microsecond) // bucket 9, upper edge 1024µs
+	if got := h.Quantile(0.5); got != 64*time.Microsecond {
+		t.Fatalf("median of 3 = %v, want 64µs (2nd observation)", got)
+	}
+	if got := h.Quantile(1); got != 1024*time.Microsecond {
+		t.Fatalf("max of 3 = %v, want 1.024ms (3rd observation)", got)
+	}
+	if got := h.Quantile(1.0 / 3.0); got != 2*time.Microsecond {
+		t.Fatalf("p33 of 3 = %v, want 2µs (1st observation)", got)
+	}
+	// Median of an even count is the lower of the middle pair
+	// (nearest-rank), never rank 0.
+	var h2 LatencyHist
+	h2.Observe(1 * time.Microsecond)
+	h2.Observe(900 * time.Microsecond)
+	if got := h2.Quantile(0.5); got != 2*time.Microsecond {
+		t.Fatalf("median of 2 = %v, want 2µs", got)
+	}
+}
+
+// TestLatencyHistBucketZeroLabel: bucket 0 absorbs sub-microsecond
+// observations, so its label must read [0,2µs), not [1µs,2µs).
+func TestLatencyHistBucketZeroLabel(t *testing.T) {
+	var h LatencyHist
+	h.Observe(300 * time.Nanosecond)
+	if got, want := h.String(), "[0,2µs):1"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	h.Observe(3 * time.Microsecond)
+	if got, want := h.String(), "[0,2µs):1 [2µs,4µs):1"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

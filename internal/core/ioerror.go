@@ -15,6 +15,15 @@ import (
 // stalled request counts; match with errors.Is.
 var ErrRingStalled = errors.New("ring refused to stage while idle")
 
+// ErrWorkerBroken marks a worker whose ring could not be proven empty
+// after a failed batch: the ring errored (or stopped producing
+// completions it owed) while the worker was quarantining in-flight
+// requests, so a reused worker could harvest stale completions whose
+// IDs index into a newer batch's request table. Such a worker refuses
+// SampleBatch; callers create a fresh worker instead. Match with
+// errors.Is.
+var ErrWorkerBroken = errors.New("worker ring may hold stale completions from a failed batch; create a new worker")
+
 // IOError is the structured error a worker surfaces when one ring read
 // cannot be completed: either a non-retryable errno came back, or the
 // bounded retry budget was exhausted by transient results (-EINTR,
@@ -79,6 +88,18 @@ type IOStats struct {
 	ShortReads int64
 	// TransientErrs is how many completions returned -EINTR/-EAGAIN.
 	TransientErrs int64
+	// StaleDrained is how many completions were harvested and discarded
+	// while quarantining a failed batch's in-flight requests (the
+	// worker-reuse safety path).
+	StaleDrained int64
+	// CacheHits / CacheMisses count per-node lookups in the
+	// hot-neighbor cache (one per non-isolated frontier node per layer;
+	// always zero when the cache is disabled). CacheBytes is the bytes
+	// served from the cache instead of the device — sampled-entry bytes
+	// on the offset path, full list bytes on the full-fetch path.
+	CacheHits   int64
+	CacheMisses int64
+	CacheBytes  int64
 }
 
 // Add accumulates o's counters into s. The epoch runner uses it to
@@ -89,6 +110,10 @@ func (s *IOStats) Add(o IOStats) {
 	s.Retries += o.Retries
 	s.ShortReads += o.ShortReads
 	s.TransientErrs += o.TransientErrs
+	s.StaleDrained += o.StaleDrained
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheBytes += o.CacheBytes
 }
 
 // transientErrno reports whether errno is worth retrying: the request

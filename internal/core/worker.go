@@ -5,6 +5,8 @@ import (
 	"sort"
 	"syscall"
 
+	"ringsampler/internal/cache"
+	"ringsampler/internal/memctl"
 	"ringsampler/internal/sample"
 	"ringsampler/internal/storage"
 	"ringsampler/internal/uring"
@@ -16,11 +18,18 @@ type Sampler struct {
 	ds      *storage.Dataset
 	cfg     Config
 	backend uring.Backend
+	// hot is the shared hot-neighbor cache (nil when disabled):
+	// immutable after New, so workers consult it with no
+	// synchronization.
+	hot *cache.Hot
 }
 
 // New validates the configuration and binds the engine to a ring
 // backend. BackendIOURing fails fast here when the environment doesn't
-// support it (callers gate on uring.Probe()).
+// support it (callers gate on uring.Probe()). When
+// Config.CacheBudgetBytes is positive the hot-neighbor cache is
+// populated here, degree-first, charged against a memctl budget of
+// that size.
 func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -28,11 +37,25 @@ func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, erro
 	if backend == uring.BackendIOURing && !uring.Probe() {
 		return nil, fmt.Errorf("core: io_uring backend requested but unavailable; use %s", uring.BackendPool)
 	}
-	return &Sampler{ds: ds, cfg: cfg, backend: backend}, nil
+	s := &Sampler{ds: ds, cfg: cfg, backend: backend}
+	if cfg.CacheBudgetBytes > 0 {
+		hot, err := cache.Build(ds, memctl.New(cfg.CacheBudgetBytes))
+		if err != nil {
+			return nil, fmt.Errorf("core: build hot-neighbor cache: %w", err)
+		}
+		s.hot = hot
+	}
+	return s, nil
 }
 
 // Config returns the engine configuration.
 func (s *Sampler) Config() Config { return s.cfg }
+
+// CacheInfo returns the hot-neighbor cache's pinned node count and
+// cached list bytes — zeros when the cache is disabled.
+func (s *Sampler) CacheInfo() (nodes int, bytes int64) {
+	return s.hot.Nodes(), s.hot.Bytes()
+}
 
 // Worker is one sampling thread (paper Fig 3a): a private ring pair,
 // private RNG, and private offset/neighbor/target workspaces. Workers
@@ -45,16 +68,40 @@ type Worker struct {
 	rng   sample.RNG
 	stats IOStats
 
+	// inflight counts requests submitted to the ring whose completions
+	// have not been harvested yet. It persists across issue() calls
+	// precisely so a failed batch can be quarantined: requests still in
+	// flight when issue surfaces an error must be drained before the
+	// worker samples again, or the next batch's Wait would harvest
+	// stale CQEs whose IDs index into the new request table.
+	inflight int
+	// ringFailed records a ring-level failure (Submit/Wait error, or a
+	// contract-breaking stall) during the last batch; quarantine turns
+	// it into broken.
+	ringFailed bool
+	// broken marks a worker whose ring may still hold completions that
+	// could not be drained. SampleBatch refuses such a worker.
+	broken bool
+
 	// Workspaces, reused across batches (paper §3.1).
-	runs     []ioRun  // offset workspace: coalesced read requests
-	reqs     []ioReq  // in-flight request state (retry bookkeeping)
-	retryQ   []int    // request IDs awaiting resubmission
-	frontier []uint32 // target workspace
-	gathered []uint32 // neighbor accumulation for frontier building
-	buf      []byte   // neighbor workspace backing the reads
-	idxs     []int    // fanout-index scratch
-	sel      []int32  // full-fetch mode: chosen in-list indices
-	nodePos  []int64  // full-fetch mode: per-node buffer position
+	runs        []ioRun      // offset workspace: coalesced read requests
+	reqs        []ioReq      // in-flight request state (retry bookkeeping)
+	retryQ      []int        // request IDs awaiting resubmission
+	frontier    []uint32     // target workspace
+	gathered    []uint32     // neighbor accumulation for frontier building
+	buf         []byte       // neighbor workspace backing the reads
+	idxs        []int        // fanout-index scratch
+	sel         []int32      // full-fetch mode: chosen in-list indices
+	nodePos     []int64      // full-fetch mode: per-node buffer position
+	cachedPicks []cachedPick // cache-served byte ranges awaiting copy
+}
+
+// cachedPick is one cache-served byte range: src is cached edge-file
+// bytes, bufPos the layer-buffer position they land at. Copies are
+// deferred because the buffer is sized only after planning completes.
+type cachedPick struct {
+	bufPos int64
+	src    []byte
 }
 
 // ioRun is one coalesced read: `entries` consecutive edge-file entries
@@ -119,6 +166,9 @@ func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error
 // decisions are made before any I/O is issued; what crosses the
 // storage boundary depends on the config's OffsetSampling switch.
 func (w *Worker) SampleBatch(targets []uint32) (*Batch, error) {
+	if w.broken {
+		return nil, fmt.Errorf("core: worker %d: %w", w.id, ErrWorkerBroken)
+	}
 	cfg := &w.s.cfg
 	batch := &Batch{Layers: make([]Layer, len(cfg.Fanouts))}
 	w.frontier = append(w.frontier[:0], targets...)
@@ -144,12 +194,17 @@ func (w *Worker) SampleBatch(targets []uint32) (*Batch, error) {
 
 // sampleLayerOffset is the paper's path: draw fanout entry indices
 // from each node's offset range, coalesce adjacent picks into runs,
-// and read exactly those entries.
+// and read exactly those entries. Cached nodes are served from the
+// hot-neighbor cache instead of planning runs — the fanout draws
+// happen first either way, so RNG consumption (and therefore the
+// sampled set) is identical with the cache on or off.
 func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 	ds := w.s.ds
+	hot := w.s.hot
 	layer.Targets = append([]uint32(nil), w.frontier...)
 	layer.Starts = make([]int64, len(w.frontier)+1)
 	w.runs = w.runs[:0]
+	w.cachedPicks = w.cachedPicks[:0]
 	var total int64
 	for i, v := range w.frontier {
 		layer.Starts[i] = total
@@ -164,6 +219,21 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 		}
 		w.idxs = sample.Floyd(&w.rng, deg, k, w.idxs[:0])
 		sort.Ints(w.idxs)
+		if nb := hot.Lookup(v); nb != nil {
+			for _, idx := range w.idxs {
+				w.cachedPicks = append(w.cachedPicks, cachedPick{
+					bufPos: total * storage.EntryBytes,
+					src:    nb[idx*storage.EntryBytes : (idx+1)*storage.EntryBytes],
+				})
+				total++
+			}
+			w.stats.CacheHits++
+			w.stats.CacheBytes += int64(k) * storage.EntryBytes
+			continue
+		}
+		if hot != nil {
+			w.stats.CacheMisses++
+		}
 		for _, idx := range w.idxs {
 			abs := st + int64(idx)
 			if n := len(w.runs); n > 0 &&
@@ -177,6 +247,7 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 	}
 	layer.Starts[len(w.frontier)] = total
 	w.buf = grow(w.buf, total*storage.EntryBytes)
+	w.copyCached()
 	if err := w.issue(w.runs, w.buf); err != nil {
 		return err
 	}
@@ -194,11 +265,13 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 // only in what crosses the storage boundary.
 func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 	ds := w.s.ds
+	hot := w.s.hot
 	layer.Targets = append([]uint32(nil), w.frontier...)
 	layer.Starts = make([]int64, len(w.frontier)+1)
 	w.runs = w.runs[:0]
 	w.sel = w.sel[:0]
 	w.nodePos = w.nodePos[:0]
+	w.cachedPicks = w.cachedPicks[:0]
 	var total, listBytes int64
 	for i, v := range w.frontier {
 		layer.Starts[i] = total
@@ -218,11 +291,24 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 			w.sel = append(w.sel, int32(idx))
 		}
 		total += int64(k)
-		w.runs = append(w.runs, ioRun{entryStart: st, entries: int32(deg), bufPos: listBytes})
+		if nb := hot.Lookup(v); nb != nil {
+			// Cache hit: the whole list lands at its planned buffer
+			// position from memory; the in-memory selection below is
+			// untouched.
+			w.cachedPicks = append(w.cachedPicks, cachedPick{bufPos: listBytes, src: nb})
+			w.stats.CacheHits++
+			w.stats.CacheBytes += int64(deg) * storage.EntryBytes
+		} else {
+			if hot != nil {
+				w.stats.CacheMisses++
+			}
+			w.runs = append(w.runs, ioRun{entryStart: st, entries: int32(deg), bufPos: listBytes})
+		}
 		listBytes += int64(deg) * storage.EntryBytes
 	}
 	layer.Starts[len(w.frontier)] = total
 	w.buf = grow(w.buf, listBytes)
+	w.copyCached()
 	if err := w.issue(w.runs, w.buf); err != nil {
 		return err
 	}
@@ -253,7 +339,46 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 // resubmission handles). Each request has a bounded retry budget
 // (Config.MaxIORetries); exhaustion, or any non-retryable errno,
 // surfaces as a structured *IOError.
+//
+// A failed batch may leave requests in flight; they are quarantined
+// here — their completions drained and discarded — before the error is
+// surfaced, because a stale CQE harvested by the NEXT batch would be
+// routed by its ID into that batch's request table: silent buffer and
+// accounting corruption. If the drain itself fails the worker is
+// marked broken and refuses further batches.
 func (w *Worker) issue(runs []ioRun, buf []byte) error {
+	err := w.issueReads(runs, buf)
+	if err != nil {
+		w.quarantine()
+	}
+	return err
+}
+
+// quarantine harvests and discards the completions of requests still
+// in flight after a failed batch. A ring that errors, or stops
+// producing completions it owes, cannot be proven empty — the worker
+// is marked broken so SampleBatch refuses to reuse it.
+func (w *Worker) quarantine() {
+	for w.inflight > 0 {
+		cqes, err := w.ring.Wait(w.inflight)
+		if err != nil || len(cqes) == 0 {
+			w.ringFailed = true
+			break
+		}
+		w.inflight -= len(cqes)
+		w.stats.StaleDrained += int64(len(cqes))
+	}
+	if w.ringFailed {
+		w.broken = true
+	}
+}
+
+// issueReads is issue's submission/completion loop. On error return,
+// w.inflight counts exactly the requests still in flight in the ring
+// (already-harvested completions are accounted before processing), and
+// w.ringFailed records whether the ring itself failed — the state
+// quarantine needs to clean up safely.
+func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 	async := w.s.cfg.AsyncPipeline
 	maxRetries := w.s.cfg.MaxIORetries
 	if cap(w.reqs) < len(runs) {
@@ -261,7 +386,7 @@ func (w *Worker) issue(runs []ioRun, buf []byte) error {
 	}
 	w.reqs = w.reqs[:len(runs)]
 	w.retryQ = w.retryQ[:0]
-	next, inflight, completed := 0, 0, 0
+	next, completed := 0, 0
 	for completed < len(runs) {
 		staged := 0
 		// Resubmissions first: their buffer ranges block layer decode.
@@ -292,18 +417,26 @@ func (w *Worker) issue(runs []ioRun, buf []byte) error {
 		}
 		if staged > 0 {
 			if _, err := w.ring.Submit(); err != nil {
+				// Unknown how many staged requests were published; the
+				// ring cannot be proven empty again.
+				w.ringFailed = true
 				return err
 			}
-			inflight += staged
+			w.inflight += staged
 		}
 		min := 1
 		if !async {
-			min = inflight
+			min = w.inflight
 		}
 		cqes, err := w.ring.Wait(min)
 		if err != nil {
+			w.ringFailed = true
 			return err
 		}
+		// Everything Wait returned has left the ring, whether or not the
+		// loop below errors out mid-way — account for it up front so
+		// quarantine sees the true in-flight count.
+		w.inflight -= len(cqes)
 		for _, c := range cqes {
 			rq := &w.reqs[c.ID]
 			switch {
@@ -342,17 +475,26 @@ func (w *Worker) issue(runs []ioRun, buf []byte) error {
 				w.retryQ = append(w.retryQ, int(c.ID))
 			}
 		}
-		inflight -= len(cqes)
 		// Stall guard: with nothing staged, nothing in flight and no
 		// completions drained, the next iteration would replay this one
 		// verbatim — a ring violating the never-refuse-while-idle
 		// contract must surface as an error, not an infinite spin.
-		if staged == 0 && inflight == 0 && len(cqes) == 0 {
+		if staged == 0 && w.inflight == 0 && len(cqes) == 0 {
+			w.ringFailed = true
 			return fmt.Errorf("core: %d of %d reads complete, %d awaiting retry: %w",
 				completed, len(runs), len(w.retryQ), ErrRingStalled)
 		}
 	}
 	return nil
+}
+
+// copyCached lands every cache-served byte range in the (now sized)
+// layer buffer. Cached ranges and planned runs are disjoint, so order
+// relative to issue does not matter.
+func (w *Worker) copyCached() {
+	for _, cp := range w.cachedPicks {
+		copy(w.buf[cp.bufPos:], cp.src)
+	}
 }
 
 func grow(buf []byte, n int64) []byte {

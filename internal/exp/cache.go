@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// CachePoint is one memory budget of the hot-neighbor cache ablation —
+// the paper's Fig-5-style memory/I-O tradeoff run on the real engine:
+// a fixed epoch workload sampled under a growing cache budget, trading
+// pinned memory for device traffic without moving a single sampled
+// byte.
+type CachePoint struct {
+	// BudgetBytes is the configured cache budget; CacheNodes/CacheBytes
+	// are what the sampler actually pinned under it.
+	BudgetBytes int64
+	CacheNodes  int
+	CacheBytes  int64
+	Stats       core.EpochStats
+	// HitRate is CacheHits/(CacheHits+CacheMisses); 0 when the cache is
+	// off or the epoch made no lookups.
+	HitRate float64
+	// Digest is the folded per-batch digest stream; identical across
+	// every point of one sweep by construction (a mismatch aborts the
+	// sweep as a cache-visibility bug).
+	Digest uint64
+}
+
+// CacheSweep runs one fixed epoch workload through core.RunEpoch at
+// each cache budget (which must be non-decreasing, so the prefix rule's
+// superset guarantee applies point to point) and verifies the cache's
+// two contracts as it goes: every point reproduces the first point's
+// per-batch digest stream bit for bit, and device bytes never increase
+// with the budget. A violation surfaces as an error, not a data point.
+func CacheSweep(ds *storage.Dataset, o Options, backend uring.Backend, budgets []int64, seed uint64) ([]CachePoint, error) {
+	if o.Targets <= 0 {
+		return nil, fmt.Errorf("exp: cache sweep needs positive target count, got %d", o.Targets)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("exp: cache sweep needs at least one budget")
+	}
+	for i := 1; i < len(budgets); i++ {
+		if budgets[i] < budgets[i-1] {
+			return nil, fmt.Errorf("exp: cache sweep budgets must be non-decreasing, got %d after %d",
+				budgets[i], budgets[i-1])
+		}
+	}
+	rng := sample.NewRNG(sample.Mix(seed, 0xcac4e))
+	targets := make([]uint32, o.Targets)
+	for i := range targets {
+		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
+	}
+
+	var ref []uint64
+	prevDevice := int64(-1)
+	out := make([]CachePoint, 0, len(budgets))
+	for _, budget := range budgets {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.CacheBudgetBytes = budget
+		if o.BatchSize > 0 {
+			cfg.BatchSize = o.BatchSize
+		}
+		if o.Threads > 0 {
+			cfg.Threads = o.Threads
+		}
+		s, err := core.New(ds, cfg, backend)
+		if err != nil {
+			return nil, fmt.Errorf("exp: cache sweep at budget %d: %w", budget, err)
+		}
+		st, err := s.RunEpoch(targets, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exp: cache sweep at budget %d: %w", budget, err)
+		}
+		if ref == nil {
+			ref = st.Digests
+		} else {
+			if len(ref) != len(st.Digests) {
+				return nil, fmt.Errorf("exp: budget %d produced %d batches, reference has %d",
+					budget, len(st.Digests), len(ref))
+			}
+			for i := range ref {
+				if ref[i] != st.Digests[i] {
+					return nil, fmt.Errorf("exp: cache changed the samples: batch %d digest differs at budget %d (%#x vs %#x)",
+						i, budget, st.Digests[i], ref[i])
+				}
+			}
+		}
+		if prevDevice >= 0 && st.IO.BytesRead > prevDevice {
+			return nil, fmt.Errorf("exp: device bytes grew with the cache budget: %d bytes at budget %d, %d at the previous point",
+				st.IO.BytesRead, budget, prevDevice)
+		}
+		prevDevice = st.IO.BytesRead
+		var digest uint64
+		for _, d := range st.Digests {
+			digest = foldDigest(digest, d)
+		}
+		p := CachePoint{BudgetBytes: budget, Stats: *st, Digest: digest}
+		p.CacheNodes, p.CacheBytes = s.CacheInfo()
+		if lookups := st.IO.CacheHits + st.IO.CacheMisses; lookups > 0 {
+			p.HitRate = float64(st.IO.CacheHits) / float64(lookups)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

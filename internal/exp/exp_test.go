@@ -313,3 +313,55 @@ func TestFig6Milestones(t *testing.T) {
 		prev = m.TimeSec
 	}
 }
+
+// TestCacheSweepAblation: the hot-neighbor cache budget sweep on the
+// checked-in dataset. CacheSweep itself enforces digest invariance and
+// monotone device bytes; the test additionally pins the endpoints — no
+// cache traffic at budget 0, a fully-pinned edge file and zero device
+// reads at an effectively unlimited budget — and that hit rate never
+// drops as the budget grows.
+func TestCacheSweepAblation(t *testing.T) {
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	o := Options{Targets: 256, BatchSize: 64, Threads: 2}
+	budgets := []int64{0, 64 << 10, 256 << 10, 1 << 30}
+	points, err := CacheSweep(ds, o, uring.BackendPool, budgets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(budgets) {
+		t.Fatalf("got %d points, want %d", len(points), len(budgets))
+	}
+	for i, pt := range points {
+		t.Logf("budget %d: pinned %d nodes / %d B, hit rate %.3f, device %d B",
+			pt.BudgetBytes, pt.CacheNodes, pt.CacheBytes, pt.HitRate, pt.Stats.IO.BytesRead)
+		if pt.Stats.Sampled == 0 || pt.Stats.Batches != 4 {
+			t.Fatalf("budget %d: degenerate stats %+v", pt.BudgetBytes, pt.Stats)
+		}
+		if i > 0 && pt.HitRate < points[i-1].HitRate {
+			t.Fatalf("hit rate fell from %.3f to %.3f as the budget grew", points[i-1].HitRate, pt.HitRate)
+		}
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.CacheNodes != 0 || first.Stats.IO.CacheHits != 0 || first.Stats.IO.CacheBytes != 0 {
+		t.Fatalf("budget 0 point has cache traffic: %+v", first.Stats.IO)
+	}
+	if last.Stats.IO.BytesRead != 0 || last.HitRate != 1 {
+		t.Fatalf("unlimited-budget point still touched the device: %+v", last.Stats.IO)
+	}
+	if last.Stats.IO.BytesRead >= first.Stats.IO.BytesRead {
+		t.Fatal("cache did not reduce device traffic")
+	}
+
+	// Decreasing budgets are a caller error, not a silent mis-sweep.
+	if _, err := CacheSweep(ds, o, uring.BackendPool, []int64{1 << 20, 0}, 7); err == nil {
+		t.Fatal("decreasing budget list accepted")
+	}
+}

@@ -115,6 +115,13 @@ func (d *Dataset) Degree(v uint32) int64 {
 // File exposes the edge file for ring backends that read it directly.
 func (d *Dataset) File() *os.File { return d.f }
 
+// ReadAt reads raw edge-file bytes at the given byte offset. It is the
+// access path for consumers that want file bytes without a ring — the
+// hot-neighbor cache builder reads each pinned node's list through it.
+func (d *Dataset) ReadAt(p []byte, off int64) (int, error) {
+	return d.f.ReadAt(p, off)
+}
+
 // LoadEdges reads the whole edge file into memory (cached after the
 // first call). Only the modeled experiments use this; the real engine
 // never does.

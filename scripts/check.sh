@@ -30,3 +30,14 @@ if [ "${QUICK:-0}" = "1" ]; then
 else
     go test -race ./...
 fi
+
+# Bench summary: epoch throughput (entries/s, bytes/s) and hot-neighbor
+# cache hit rate at budgets 0 and 64 MiB on the checked-in dataset,
+# written as benchdata/BENCH_epoch.json so runs are diffable across
+# commits. Skipped with QUICK=1.
+if [ "${QUICK:-0}" != "1" ]; then
+    go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 \
+        -threads 4 -targets 2048 -batch 256 \
+        -bench-json benchdata/BENCH_epoch.json >/dev/null
+    echo "wrote benchdata/BENCH_epoch.json"
+fi
