@@ -40,9 +40,11 @@ const EntryBytes = 4
 const nodeOverheadBytes = 48
 
 // span locates one cached node's list inside the flat data buffer.
+// n is int64 so a pathologically large list (> 2 GiB of entry bytes)
+// cannot silently truncate into a short Lookup slice.
 type span struct {
 	off int64
-	n   int32 // bytes
+	n   int64 // bytes
 }
 
 // Hot is an immutable hot-neighbor cache. Safe for concurrent Lookup
@@ -119,7 +121,7 @@ func Build(g Graph, budget *memctl.Budget) (*Hot, error) {
 		if _, err := g.ReadAt(h.data[at:at+n], st*EntryBytes); err != nil {
 			return nil, fmt.Errorf("cache: read node %d list: %w", c.id, err)
 		}
-		h.index[c.id] = span{off: at, n: int32(n)}
+		h.index[c.id] = span{off: at, n: n}
 		at += n
 	}
 	return h, nil
@@ -136,7 +138,7 @@ func (h *Hot) Lookup(v uint32) []byte {
 	if !ok {
 		return nil
 	}
-	return h.data[s.off : s.off+int64(s.n)]
+	return h.data[s.off : s.off+s.n]
 }
 
 // Nodes returns how many nodes are cached.

@@ -67,6 +67,95 @@ func TestCacheDigestInvariance(t *testing.T) {
 	}
 }
 
+// TestCacheAdversarialTargetOrder pins the byte-identical-cache
+// guarantee for arbitrary (unsorted, duplicated) target order.
+// Regression: run coalescing used to check only edge-file adjacency, so
+// with targets [A, hub, A+1] — A and A+1 file-adjacent non-cached nodes,
+// hub cached between them — A+1's picks were merged into A's run and
+// written at A's buffer tail, overwriting the hub's cached bytes and
+// leaving A+1's slots stale. Layer-0 targets arrive in caller order
+// (the sorted deeper-layer frontiers masked this), so the trigger is
+// built explicitly: fanout ≥ degree makes every entry of A and A+1 a
+// pick, guaranteeing the file-adjacency the old condition mis-merged.
+func TestCacheAdversarialTargetOrder(t *testing.T) {
+	ds := testDataset(t)
+	const fanout = 32
+	cfg := DefaultConfig()
+	cfg.Seed = 91
+	cfg.Fanouts = []int{fanout}
+	cfg.CacheBudgetBytes = 16 << 10
+	s, err := New(ds, cfg, uring.BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cached hub, and a file-adjacent pair of non-cached nodes with
+	// degree in [1, fanout] so all their entries are picked.
+	var hub uint32
+	foundHub := false
+	for v := int64(0); v < ds.NumNodes(); v++ {
+		if s.hot.Lookup(uint32(v)) != nil {
+			hub = uint32(v)
+			foundHub = true
+			break
+		}
+	}
+	if !foundHub {
+		t.Fatal("budget cached no nodes")
+	}
+	var a uint32
+	foundPair := false
+	for v := int64(0); v+1 < ds.NumNodes(); v++ {
+		lo, hi := uint32(v), uint32(v+1)
+		if s.hot.Lookup(lo) != nil || s.hot.Lookup(hi) != nil {
+			continue
+		}
+		stA, enA := ds.Range(lo)
+		stB, enB := ds.Range(hi)
+		if degA, degB := enA-stA, enB-stB; degA > 0 && degA <= fanout &&
+			degB > 0 && degB <= fanout && enA == stB {
+			a = lo
+			foundPair = true
+			break
+		}
+	}
+	if !foundPair {
+		t.Fatal("no file-adjacent non-cached pair with degree ≤ fanout")
+	}
+	off := cfg
+	off.CacheBudgetBytes = 0
+	for _, targets := range [][]uint32{
+		{a, hub, a + 1},
+		{a, hub, a + 1, a, hub}, // duplicates interleaved with the hub
+	} {
+		w, err := s.NewWorker(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.SampleBatchSeeded(targets, sample.Mix(cfg.Seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.IOStats().CacheHits == 0 {
+			t.Fatal("hub target produced no cache hit — scenario does not exercise the hazard")
+		}
+		w.Close()
+		so, err := New(ds, off, uring.BackendSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wo, err := so.NewWorker(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wo.SampleBatchSeeded(targets, sample.Mix(cfg.Seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wo.Close()
+		assertBatchesEqual(t, want, got, "adversarial-order cache-off/cache-on")
+	}
+}
+
 // TestCacheMonotoneDeviceBytes: the prefix rule makes a larger budget's
 // cached node set a superset of a smaller one's, so for a fixed
 // workload, device bytes are non-increasing and cache-served bytes

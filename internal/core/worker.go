@@ -236,8 +236,14 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 		}
 		for _, idx := range w.idxs {
 			abs := st + int64(idx)
+			// Coalesce only when the pick is adjacent in the edge file AND
+			// in the layer buffer. A cache hit advances `total` without
+			// appending a run, so file adjacency alone would merge a
+			// post-hit pick into a pre-hit run and land its bytes over the
+			// cached node's slots.
 			if n := len(w.runs); n > 0 &&
-				w.runs[n-1].entryStart+int64(w.runs[n-1].entries) == abs {
+				w.runs[n-1].entryStart+int64(w.runs[n-1].entries) == abs &&
+				w.runs[n-1].bufPos+int64(w.runs[n-1].entries)*storage.EntryBytes == total*storage.EntryBytes {
 				w.runs[n-1].entries++
 			} else {
 				w.runs = append(w.runs, ioRun{entryStart: abs, entries: 1, bufPos: total * storage.EntryBytes})
