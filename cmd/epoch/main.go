@@ -22,13 +22,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"ringsampler/internal/core"
 	"ringsampler/internal/gen"
@@ -73,6 +77,11 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM drain the epoch gracefully: no further batches are
+	// dispatched, in-flight ones finish, and the partial stats are still
+	// printed before the command exits nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *cacheMB < 0 {
 		return fmt.Errorf("-cache-mb %d must be non-negative", *cacheMB)
 	}
@@ -117,7 +126,7 @@ func run(args []string, out io.Writer) error {
 		epochTargets[i] = rng.Uint32n(uint32(ds.NumNodes()))
 	}
 
-	ref, err := runOnce(out, ds, cfg, be, epochTargets)
+	ref, err := runOnce(ctx, out, ds, cfg, be, epochTargets)
 	if err != nil {
 		return err
 	}
@@ -128,7 +137,7 @@ func run(args []string, out io.Writer) error {
 			}
 			c := cfg
 			c.Threads = th
-			st, err := runOnce(out, ds, c, be, epochTargets)
+			st, err := runOnce(ctx, out, ds, c, be, epochTargets)
 			if err != nil {
 				return err
 			}
@@ -143,12 +152,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *benchJSON != "" {
-		return writeBenchJSON(out, *benchJSON, dir, ds, cfg, be, epochTargets)
+		return writeBenchJSON(ctx, out, *benchJSON, dir, ds, cfg, be, epochTargets)
 	}
 	return nil
 }
 
-func runOnce(out io.Writer, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) (*core.EpochStats, error) {
+func runOnce(ctx context.Context, out io.Writer, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) (*core.EpochStats, error) {
 	if testWrapRing != nil {
 		cfg.WrapRing = testWrapRing(cfg.Threads)
 	}
@@ -156,10 +165,11 @@ func runOnce(out io.Writer, ds *storage.Dataset, cfg core.Config, be uring.Backe
 	if err != nil {
 		return nil, err
 	}
-	st, err := s.RunEpoch(targets, nil)
-	if err != nil {
+	st, err := s.RunEpochCtx(ctx, targets, nil)
+	if err != nil && (st == nil || !errors.Is(err, context.Canceled)) {
 		return nil, err
 	}
+	interrupted := err != nil
 	var digest uint64
 	for _, d := range st.Digests {
 		digest = digest*0x100000001b3 ^ d
@@ -178,6 +188,12 @@ func runOnce(out io.Writer, ds *storage.Dataset, cfg core.Config, be uring.Backe
 	fmt.Fprintf(out, "  latency   p50 ≤ %v  p90 ≤ %v  p99 ≤ %v\n",
 		st.Latency.Quantile(0.50), st.Latency.Quantile(0.90), st.Latency.Quantile(0.99))
 	fmt.Fprintf(out, "  buckets   %v\n", st.Latency.String())
+	if interrupted {
+		// Partial epochs have holes in the digest stream — flush the
+		// drained counters above but don't print a misleading digest.
+		fmt.Fprintf(out, "  INTERRUPTED after %d/%d batches (partial stats above)\n", st.Completed, st.Batches)
+		return st, fmt.Errorf("epoch interrupted: %w", err)
+	}
 	fmt.Fprintf(out, "  digest    %#016x\n", digest)
 	return st, nil
 }
@@ -205,7 +221,7 @@ type benchFile struct {
 // writeBenchJSON reruns the workload at cache budgets 0 and 64 MiB and
 // writes the throughput/hit-rate summary the bench harness diffs across
 // commits (benchdata/BENCH_epoch.json in CI).
-func writeBenchJSON(out io.Writer, path, dir string, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) error {
+func writeBenchJSON(ctx context.Context, out io.Writer, path, dir string, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets []uint32) error {
 	bf := benchFile{
 		Dataset:   dir,
 		Backend:   string(be),
@@ -223,7 +239,7 @@ func writeBenchJSON(out io.Writer, path, dir string, ds *storage.Dataset, cfg co
 		if err != nil {
 			return err
 		}
-		st, err := s.RunEpoch(targets, nil)
+		st, err := s.RunEpochCtx(ctx, targets, nil)
 		if err != nil {
 			return err
 		}

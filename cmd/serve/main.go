@@ -1,0 +1,225 @@
+// Command serve runs the online sampling service: an HTTP front end
+// that coalesces concurrent sampling requests into the micro-batches
+// the ring workers are built for, with admission control and a
+// Prometheus metrics surface (see DESIGN.md §8).
+//
+//	POST /v1/sample  — {"targets":[...],"fanouts":[...],"seed":N}
+//	GET  /healthz    — liveness (503 while draining)
+//	GET  /metrics    — Prometheus text format
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
+// are refused, and the final I/O counters are flushed to stderr. A
+// second signal (or -drain-timeout expiring) force-cancels what is
+// left.
+//
+// With -bench-json the command skips serving and instead runs the
+// closed-loop load sweep (exp.ServeLoad) against an in-process server,
+// writing the machine-readable summary the bench harness tracks.
+//
+// Usage:
+//
+//	go run ./cmd/serve -data benchdata/bench/ogbn-papers-div20000 -addr :8080 -threads 8
+//	go run ./cmd/serve -addr 127.0.0.1:8080        # temporary R-MAT graph
+//	go run ./cmd/serve -bench-json benchdata/BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"ringsampler/internal/exp"
+	"ringsampler/internal/gen"
+	"ringsampler/internal/serve"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address")
+		data         = fs.String("data", "", "dataset directory (empty: generate a temporary R-MAT graph)")
+		nodes        = fs.Int64("nodes", 50_000, "node count for the temporary graph (with empty -data)")
+		edges        = fs.Int64("edges", 800_000, "edge count for the temporary graph (with empty -data)")
+		threads      = fs.Int("threads", 0, "worker-pool size (0: config default)")
+		batch        = fs.Int("batch", 0, "engine mini-batch size / chunking granularity (0: config default)")
+		cacheMB      = fs.Int64("cache-mb", 0, "hot-neighbor cache budget in MiB (0: cache off)")
+		queue        = fs.Int("queue", 0, "admission queue bound in jobs; full queue fast-fails 429 (0: default 256)")
+		batchWindow  = fs.Duration("batch-window", 0, "max wait for more jobs before flushing a partial micro-batch (0: default 2ms)")
+		maxBatch     = fs.Int("max-batch", 0, "flush a micro-batch at this many targets (0: engine batch size)")
+		seed         = fs.Uint64("seed", 1, "seed for the temporary graph")
+		backend      = fs.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max graceful-drain wait on SIGINT/SIGTERM")
+		benchJSON    = fs.String("bench-json", "", "run the closed-loop load sweep instead of serving; write the JSON summary to this file")
+		benchQuick   = fs.Bool("bench-quick", false, "shrink the load sweep to a smoke-test size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cacheMB < 0 {
+		return fmt.Errorf("-cache-mb %d must be non-negative", *cacheMB)
+	}
+	be, err := pickBackend(*backend)
+	if err != nil {
+		return err
+	}
+
+	dir := *data
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ringsampler-serve-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = filepath.Join(tmp, "g")
+		fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
+		if _, err := gen.Generate(dir, "serve-tmp", "rmat", *nodes, *edges, *seed); err != nil {
+			return err
+		}
+	}
+	ds, err := storage.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+
+	cfg := serve.DefaultConfig()
+	cfg.Backend = be
+	cfg.Core.CacheBudgetBytes = *cacheMB << 20
+	if *threads > 0 {
+		cfg.Core.Threads = *threads
+	}
+	if *batch > 0 {
+		cfg.Core.BatchSize = *batch
+	}
+	if *queue > 0 {
+		cfg.QueueDepth = *queue
+	}
+	if *batchWindow > 0 {
+		cfg.BatchWindow = *batchWindow
+	}
+	if *maxBatch > 0 {
+		cfg.MaxBatchTargets = *maxBatch
+	}
+
+	if *benchJSON != "" {
+		return runBench(out, ds, cfg, *benchJSON, *benchQuick)
+	}
+
+	srv, err := serve.New(ds, cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	eff := srv.Config()
+	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), eff.Backend)
+	fmt.Fprintf(out, "serving on http://%s (%d workers, queue %d, window %v)\n",
+		ln.Addr(), eff.Core.Threads, eff.QueueDepth, eff.BatchWindow)
+
+	// Graceful drain: the first SIGINT/SIGTERM stops admission and lets
+	// in-flight requests finish; the drain is bounded by -drain-timeout,
+	// and a second signal force-cancels immediately.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // restore default handling: a second signal kills the drain
+	fmt.Fprintf(out, "signal received, draining (timeout %v) ...\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutErr := srv.Shutdown(ctx)
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.IOStats()
+	fmt.Fprintf(out, "drained; final io %+v\n", st)
+	if shutErr != nil {
+		return fmt.Errorf("drain incomplete, outstanding requests were canceled: %w", shutErr)
+	}
+	return nil
+}
+
+// runBench runs the closed-loop offered-load sweep in-process and
+// writes benchdata/BENCH_serve.json-shaped output.
+func runBench(out io.Writer, ds *storage.Dataset, cfg serve.Config, path string, quick bool) error {
+	lc := exp.ServeLoadConfig{
+		Serve:             cfg,
+		Clients:           []int{1, 4, 16, 64},
+		RequestsPerClient: 32,
+		TargetsPerRequest: 256,
+		Fanouts:           []int{10, 10, 5},
+		Seed:              7,
+	}
+	if quick {
+		lc.Clients = []int{1, 4, 16}
+		lc.RequestsPerClient = 8
+		lc.TargetsPerRequest = 64
+		lc.Fanouts = []int{5, 5}
+	}
+	res, err := exp.ServeLoad(ds, lc)
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		fmt.Fprintf(out, "clients %3d: %6.1f req/s  p50 %7.2fms  p99 %7.2fms  rejected %.1f%%  (%d ok / %d total in %.2fs)\n",
+			p.Clients, p.Throughput, p.P50MS, p.P99MS, 100*p.RejectionRate, p.OK, p.Requests, p.Seconds)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "load sweep written to %s\n", path)
+	return nil
+}
+
+func pickBackend(name string) (uring.Backend, error) {
+	switch strings.ToLower(name) {
+	case "auto":
+		if uring.Probe() {
+			return uring.BackendIOURing, nil
+		}
+		return uring.BackendPool, nil
+	case "io_uring":
+		return uring.BackendIOURing, nil
+	case "pool":
+		return uring.BackendPool, nil
+	case "sim":
+		return uring.BackendSim, nil
+	default:
+		return "", fmt.Errorf("unknown backend %q", name)
+	}
+}

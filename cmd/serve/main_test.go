@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ringsampler/internal/gen"
+)
+
+func testGraphDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "g")
+	if _, err := gen.Generate(dir, "cli-test", "rmat", 2000, 30000, 11); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunBenchQuick drives the CLI's in-process load sweep end to end
+// and checks the JSON it writes has the shape the bench harness diffs:
+// every configured client count present, with successful traffic.
+func TestRunBenchQuick(t *testing.T) {
+	dir := testGraphDir(t)
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-data", dir,
+		"-backend", "sim",
+		"-threads", "2",
+		"-batch", "64",
+		"-bench-json", out,
+		"-bench-quick",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Backend string `json:"backend"`
+		Threads int    `json:"threads"`
+		Points  []struct {
+			Clients    int     `json:"clients"`
+			Requests   int     `json:"requests"`
+			OK         int     `json:"ok"`
+			Throughput float64 `json:"throughput_rps"`
+			P50        float64 `json:"p50_ms"`
+			P99        float64 `json:"p99_ms"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatalf("bench JSON: %v", err)
+	}
+	if bf.Backend != "sim" || bf.Threads != 2 {
+		t.Fatalf("bench header = %q/%d, want sim/2", bf.Backend, bf.Threads)
+	}
+	if len(bf.Points) != 3 {
+		t.Fatalf("bench has %d points, want 3", len(bf.Points))
+	}
+	for _, p := range bf.Points {
+		if p.OK == 0 || p.Throughput <= 0 || p.P50 <= 0 || p.P99 < p.P50 {
+			t.Fatalf("degenerate bench point: %+v", p)
+		}
+		if p.OK > p.Requests {
+			t.Fatalf("point claims more successes than requests: %+v", p)
+		}
+	}
+}
+
+// TestRunBadFlags: invalid backend and negative cache budget fail fast.
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "floppy"}, &sb); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"-cache-mb", "-1"}, &sb); err == nil {
+		t.Fatal("negative cache budget accepted")
+	}
+}

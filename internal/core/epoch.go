@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -119,6 +120,11 @@ type EpochStats struct {
 	// Workers is how many workers actually ran: Config.Threads, capped
 	// by the batch count.
 	Workers int
+	// Completed is how many batches actually finished sampling. It
+	// equals Batches except when the epoch was canceled mid-run, in
+	// which case only the first Completed dispatched batches have
+	// digests and latency observations.
+	Completed int
 	// Sampled is the total sampled neighbor entries across all batches.
 	Sampled int64
 	// Digests holds each batch's sample digest in batch order. For a
@@ -167,6 +173,17 @@ type epochResult struct {
 // error aborts the epoch. Passing nil skips delivery; per-batch
 // digests are recorded in EpochStats either way.
 func (s *Sampler) RunEpoch(targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
+	return s.RunEpochCtx(context.Background(), targets, onBatch)
+}
+
+// RunEpochCtx is RunEpoch with graceful cancellation: when ctx is
+// canceled mid-epoch no further batches are dispatched, every batch
+// already in flight finishes (workers never die mid-batch), and the
+// partial stats accumulated so far are returned ALONGSIDE the context's
+// error — callers that want the drained numbers (cmd/epoch flushing on
+// SIGINT) read the stats, callers that only check err lose nothing.
+// EpochStats.Completed records how many batches actually ran.
+func (s *Sampler) RunEpochCtx(ctx context.Context, targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
 	cfg := &s.cfg
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("core: epoch needs at least one target")
@@ -181,6 +198,10 @@ func (s *Sampler) RunEpoch(targets []uint32, onBatch func(index int, b *Batch) e
 		idxCh = make(chan int)
 		resCh = make(chan epochResult, workers)
 		stop  = make(chan struct{})
+		// fedCh reports how many batches the feeder actually dispatched;
+		// buffered so the feeder never blocks when nobody asks (the
+		// uncanceled path).
+		fedCh = make(chan int, 1)
 		wg    sync.WaitGroup
 	)
 	perWorker := make([]IOStats, workers)
@@ -188,12 +209,24 @@ func (s *Sampler) RunEpoch(targets []uint32, onBatch func(index int, b *Batch) e
 	go func() {
 		defer close(idxCh)
 		for bi := 0; bi < numBatches; bi++ {
+			// Pre-check so a cancellation always stops dispatch here, even
+			// when a worker is simultaneously ready to receive (select
+			// picks ready cases at random).
+			if ctx.Err() != nil {
+				fedCh <- bi
+				return
+			}
 			select {
 			case idxCh <- bi:
 			case <-stop:
+				fedCh <- bi
+				return
+			case <-ctx.Done():
+				fedCh <- bi
 				return
 			}
 		}
+		fedCh <- numBatches
 	}()
 	for wid := 0; wid < workers; wid++ {
 		wg.Add(1)
@@ -248,9 +281,24 @@ func (s *Sampler) RunEpoch(targets []uint32, onBatch func(index int, b *Batch) e
 	pending := make(map[int]*Batch)
 	nextDeliver := 0
 	var firstErr error
+	expected := numBatches
+	ctxDone := ctx.Done()
+	canceled := false
 collect:
-	for got := 0; got < numBatches; got++ {
-		r := <-resCh
+	for got := 0; got < expected; {
+		var r epochResult
+		select {
+		case r = <-resCh:
+		case <-ctxDone:
+			// Graceful drain: stop waiting for batches that were never
+			// dispatched. The feeder reports how many actually went out
+			// and the loop shrinks to collecting exactly those.
+			canceled = true
+			ctxDone = nil
+			expected = <-fedCh
+			continue
+		}
+		got++
 		if r.err != nil {
 			firstErr = r.err
 			break
@@ -258,6 +306,7 @@ collect:
 		stats.Latency.Observe(r.lat)
 		stats.Sampled += r.batch.TotalSampled()
 		stats.Digests[r.index] = r.batch.Digest()
+		stats.Completed++
 		if onBatch == nil {
 			continue
 		}
@@ -288,6 +337,9 @@ collect:
 	if stats.Seconds > 0 {
 		stats.EntriesPerSec = float64(stats.Sampled) / stats.Seconds
 		stats.BytesPerSec = float64(stats.IO.BytesRead) / stats.Seconds
+	}
+	if canceled {
+		return stats, context.Cause(ctx)
 	}
 	return stats, nil
 }

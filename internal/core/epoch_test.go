@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"testing"
@@ -316,5 +318,86 @@ func TestLatencyHistBucketZeroLabel(t *testing.T) {
 	h.Observe(3 * time.Microsecond)
 	if got, want := h.String(), "[0,2µs):1 [2µs,4µs):1"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestEpochCancellation: canceling the context mid-epoch stops the
+// feeder promptly — RunEpochCtx returns context.Canceled with partial
+// stats whose Completed counts only the batches that actually ran, and
+// every batch that did run landed in order with its recorded digest.
+func TestEpochCancellation(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	cfg.BatchSize = 16
+	cfg.Threads = 2
+	targets := testTargets(ds, 400) // 25 batches
+	s, err := New(ds, cfg, uring.BackendPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	st, err := s.RunEpochCtx(ctx, targets, func(i int, b *Batch) error {
+		if i != delivered {
+			t.Fatalf("delivery out of order: position %d got batch %d", delivered, i)
+		}
+		delivered++
+		if i == 0 {
+			cancel() // cancel from inside the first delivery
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st == nil {
+		t.Fatal("canceled epoch returned nil stats")
+	}
+	if st.Completed < 1 || st.Completed >= st.Batches {
+		t.Fatalf("Completed = %d, want in [1, %d)", st.Completed, st.Batches)
+	}
+	// The batches that DID complete must be the deterministic ones: the
+	// recorded digest of every completed in-order batch matches a
+	// direct seeded run.
+	w, err := s.NewWorker(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for bi := 0; bi < delivered; bi++ {
+		lo := bi * cfg.BatchSize
+		hi := min(lo+cfg.BatchSize, len(targets))
+		b, err := w.SampleBatchSeeded(targets[lo:hi], sample.Mix(cfg.Seed, uint64(bi)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Digest(); got != st.Digests[bi] {
+			t.Fatalf("batch %d: digest %#x != epoch digest %#x", bi, got, st.Digests[bi])
+		}
+	}
+}
+
+// TestEpochCtxPreCanceled: an already-dead context runs nothing.
+func TestEpochCtxPreCanceled(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.BatchSize = 16
+	cfg.Threads = 2
+	s, err := New(ds, cfg, uring.BackendPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := s.RunEpochCtx(ctx, testTargets(ds, 100), func(i int, b *Batch) error {
+		t.Fatal("handler ran under a pre-canceled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("Completed = %d, want 0", st.Completed)
 	}
 }

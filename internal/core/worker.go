@@ -150,6 +150,12 @@ func (w *Worker) Close() error { return w.ring.Close() }
 // IOStats returns the worker's accumulated ring-level I/O counters.
 func (w *Worker) IOStats() IOStats { return w.stats }
 
+// Broken reports whether the worker's ring could not be proven empty
+// after a failed batch (see ErrWorkerBroken). Pools that lease workers
+// across requests use it to retire a worker eagerly instead of
+// discovering the refusal on the next SampleBatch.
+func (w *Worker) Broken() bool { return w.broken }
+
 // SampleBatchSeeded reseeds the worker's RNG to NewRNG(seed) and then
 // samples one mini-batch. This is the epoch runner's path to
 // thread-count invariance: the sample set becomes a pure function of
@@ -158,7 +164,26 @@ func (w *Worker) IOStats() IOStats { return w.stats }
 // worker's rolling per-(Seed, id) stream.
 func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error) {
 	w.rng.Reseed(seed)
-	return w.SampleBatch(targets)
+	return w.sampleBatch(targets, w.s.cfg.Fanouts)
+}
+
+// SampleBatchFanouts reseeds the RNG and samples one mini-batch with
+// per-call fanouts overriding the engine config — the serving layer's
+// path: one leased worker serves requests with heterogeneous fanouts
+// back to back, and the explicit reseed keeps each request's samples a
+// pure function of (dataset, targets, fanouts, seed), independent of
+// what the worker ran before.
+func (w *Worker) SampleBatchFanouts(targets []uint32, fanouts []int, seed uint64) (*Batch, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("core: sample batch needs at least one fanout layer")
+	}
+	for i, f := range fanouts {
+		if f <= 0 {
+			return nil, fmt.Errorf("core: fanout[%d] = %d must be positive", i, f)
+		}
+	}
+	w.rng.Reseed(seed)
+	return w.sampleBatch(targets, fanouts)
 }
 
 // SampleBatch samples the configured fanout layers for one mini-batch
@@ -166,13 +191,17 @@ func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error
 // decisions are made before any I/O is issued; what crosses the
 // storage boundary depends on the config's OffsetSampling switch.
 func (w *Worker) SampleBatch(targets []uint32) (*Batch, error) {
+	return w.sampleBatch(targets, w.s.cfg.Fanouts)
+}
+
+func (w *Worker) sampleBatch(targets []uint32, fanouts []int) (*Batch, error) {
 	if w.broken {
 		return nil, fmt.Errorf("core: worker %d: %w", w.id, ErrWorkerBroken)
 	}
 	cfg := &w.s.cfg
-	batch := &Batch{Layers: make([]Layer, len(cfg.Fanouts))}
+	batch := &Batch{Layers: make([]Layer, len(fanouts))}
 	w.frontier = append(w.frontier[:0], targets...)
-	for li, fanout := range cfg.Fanouts {
+	for li, fanout := range fanouts {
 		layer := &batch.Layers[li]
 		if cfg.OffsetSampling {
 			if err := w.sampleLayerOffset(layer, fanout); err != nil {

@@ -8,6 +8,7 @@ import (
 	"ringsampler/internal/core"
 	"ringsampler/internal/device"
 	"ringsampler/internal/sample"
+	"ringsampler/internal/serve"
 	"ringsampler/internal/simrun"
 	"ringsampler/internal/uring"
 )
@@ -363,5 +364,53 @@ func TestCacheSweepAblation(t *testing.T) {
 	// Decreasing budgets are a caller error, not a silent mis-sweep.
 	if _, err := CacheSweep(ds, o, uring.BackendPool, []int64{1 << 20, 0}, 7); err == nil {
 		t.Fatal("decreasing budget list accepted")
+	}
+}
+
+// TestServeLoadQuick runs the closed-loop serving sweep at smoke-test
+// scale: three offered-load points against the sim backend, each
+// required to complete its full request budget with sane latency
+// ordering.
+func TestServeLoadQuick(t *testing.T) {
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	scfg := serve.DefaultConfig()
+	scfg.Backend = uring.BackendSim
+	scfg.Core.Threads = 2
+	scfg.Core.BatchSize = 64
+	res, err := ServeLoad(ds, ServeLoadConfig{
+		Serve:             scfg,
+		Clients:           []int{1, 2, 4},
+		RequestsPerClient: 4,
+		TargetsPerRequest: 32,
+		Fanouts:           []int{5, 5},
+		Seed:              9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("sweep has %d points, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.OK+p.Rejected+p.Errors != p.Requests {
+			t.Fatalf("point %d clients: %d+%d+%d != %d requests", p.Clients, p.OK, p.Rejected, p.Errors, p.Requests)
+		}
+		if p.Errors != 0 {
+			t.Fatalf("point %d clients: %d non-429 failures", p.Clients, p.Errors)
+		}
+		if p.OK == 0 || p.Throughput <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if p.P99MS < p.P50MS {
+			t.Fatalf("p99 %.3fms below p50 %.3fms", p.P99MS, p.P50MS)
+		}
 	}
 }

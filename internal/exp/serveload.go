@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ringsampler/internal/sample"
+	"ringsampler/internal/serve"
+	"ringsampler/internal/storage"
+)
+
+// ServeLoadConfig drives one closed-loop load sweep against the online
+// sampling service: for each client count in Clients, a fresh server is
+// started on a loopback listener and that many closed-loop clients
+// (each issuing its next request the moment the previous one returns)
+// hammer POST /v1/sample until every client has sent
+// RequestsPerClient requests.
+type ServeLoadConfig struct {
+	// Serve is the server configuration under test (worker count, queue
+	// bounds, batch window — the knobs the sweep is probing).
+	Serve serve.Config
+	// Clients are the offered-load points, in sweep order (a closed
+	// loop's offered load is its concurrency).
+	Clients []int
+	// RequestsPerClient is how many requests each client issues per
+	// point.
+	RequestsPerClient int
+	// TargetsPerRequest is the request size; Fanouts the per-layer
+	// sample counts (empty: the server's configured fanouts).
+	TargetsPerRequest int
+	Fanouts           []int
+	// Seed derives every request's targets and sampling seed.
+	Seed uint64
+}
+
+// ServeLoadPoint is one offered-load point of the sweep.
+type ServeLoadPoint struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Rejected int     `json:"rejected"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	// Throughput is successful responses per second; RejectionRate is
+	// the 429 fraction of all requests.
+	Throughput    float64 `json:"throughput_rps"`
+	RejectionRate float64 `json:"rejection_rate"`
+	// P50MS/P99MS are quantiles over successful requests only —
+	// rejections return in microseconds and would drag the quantiles
+	// into meaninglessness.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// ServeLoadResult is the machine-readable sweep summary
+// (benchdata/BENCH_serve.json in CI).
+type ServeLoadResult struct {
+	Backend    string           `json:"backend"`
+	Threads    int              `json:"threads"`
+	QueueDepth int              `json:"queue_depth"`
+	Targets    int              `json:"targets_per_request"`
+	PerClient  int              `json:"requests_per_client"`
+	Points     []ServeLoadPoint `json:"points"`
+}
+
+// ServeLoad runs the closed-loop sweep. Each point gets a fresh server
+// so its /metrics and pool state never bleed into the next point. A
+// request failing at the transport level (not an HTTP status) aborts
+// the sweep — that is a harness bug, not an overload signal.
+func ServeLoad(ds *storage.Dataset, cfg ServeLoadConfig) (*ServeLoadResult, error) {
+	if len(cfg.Clients) == 0 {
+		return nil, fmt.Errorf("exp: serve load sweep needs at least one client count")
+	}
+	if cfg.RequestsPerClient <= 0 {
+		return nil, fmt.Errorf("exp: serve load sweep needs positive requests per client, got %d", cfg.RequestsPerClient)
+	}
+	if cfg.TargetsPerRequest <= 0 {
+		return nil, fmt.Errorf("exp: serve load sweep needs positive targets per request, got %d", cfg.TargetsPerRequest)
+	}
+	res := &ServeLoadResult{
+		Targets:   cfg.TargetsPerRequest,
+		PerClient: cfg.RequestsPerClient,
+	}
+	for _, clients := range cfg.Clients {
+		if clients <= 0 {
+			return nil, fmt.Errorf("exp: client count %d must be positive", clients)
+		}
+		p, srvCfg, err := serveLoadPoint(ds, cfg, clients)
+		if err != nil {
+			return nil, fmt.Errorf("exp: serve load at %d clients: %w", clients, err)
+		}
+		res.Backend = string(srvCfg.Backend)
+		res.Threads = srvCfg.Core.Threads
+		res.QueueDepth = srvCfg.QueueDepth
+		res.Points = append(res.Points, *p)
+	}
+	return res, nil
+}
+
+func serveLoadPoint(ds *storage.Dataset, cfg ServeLoadConfig, clients int) (*ServeLoadPoint, serve.Config, error) {
+	srv, err := serve.New(ds, cfg.Serve)
+	if err != nil {
+		return nil, serve.Config{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, serve.Config{}, err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	url := "http://" + ln.Addr().String() + "/v1/sample"
+
+	type clientTally struct {
+		ok, rejected, errs int
+		lats               []time.Duration
+		err                error
+	}
+	tallies := make([]clientTally, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tl := &tallies[c]
+			client := &http.Client{Timeout: 2 * time.Minute}
+			rng := sample.NewRNG(sample.Mix(cfg.Seed, uint64(clients)<<20|uint64(c)))
+			for r := 0; r < cfg.RequestsPerClient; r++ {
+				targets := make([]uint32, cfg.TargetsPerRequest)
+				for i := range targets {
+					targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
+				}
+				body, err := json.Marshal(map[string]any{
+					"targets": targets,
+					"fanouts": cfg.Fanouts,
+					"seed":    sample.Mix(cfg.Seed, uint64(c)<<32|uint64(r)),
+				})
+				if err != nil {
+					tl.err = err
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					tl.err = err
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					tl.ok++
+					tl.lats = append(tl.lats, time.Since(t0))
+				case http.StatusTooManyRequests:
+					tl.rejected++
+				default:
+					tl.errs++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	p := &ServeLoadPoint{Clients: clients, Seconds: elapsed}
+	var lats []time.Duration
+	for c := range tallies {
+		tl := &tallies[c]
+		if tl.err != nil {
+			return nil, serve.Config{}, tl.err
+		}
+		p.OK += tl.ok
+		p.Rejected += tl.rejected
+		p.Errors += tl.errs
+		lats = append(lats, tl.lats...)
+	}
+	p.Requests = clients * cfg.RequestsPerClient
+	if elapsed > 0 {
+		p.Throughput = float64(p.OK) / elapsed
+	}
+	if p.Requests > 0 {
+		p.RejectionRate = float64(p.Rejected) / float64(p.Requests)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p.P50MS = quantileMS(lats, 0.50)
+	p.P99MS = quantileMS(lats, 0.99)
+	return p, srv.Config(), nil
+}
+
+// quantileMS is the nearest-rank quantile of a sorted latency slice,
+// in milliseconds; 0 when empty.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}

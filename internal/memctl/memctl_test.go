@@ -44,3 +44,89 @@ func TestIsOOMOnOtherErrors(t *testing.T) {
 		t.Fatal("IsOOM(nil) = true")
 	}
 }
+
+// TestNegativeCharge: a negative charge is a caller bug — rejected
+// without mutating the accountant, and not classified as OOM.
+func TestNegativeCharge(t *testing.T) {
+	b := New(100)
+	if err := b.Charge(30); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Charge(-1)
+	if err == nil {
+		t.Fatal("negative charge accepted")
+	}
+	if IsOOM(err) {
+		t.Fatalf("negative-charge error misclassified as OOM: %v", err)
+	}
+	if b.Used() != 30 || b.HighWater() != 30 {
+		t.Fatalf("negative charge mutated state: used=%d high=%d", b.Used(), b.HighWater())
+	}
+}
+
+// TestExactFit: a charge landing exactly on the limit succeeds; the
+// next byte does not, and the failed charge leaves nothing charged.
+func TestExactFit(t *testing.T) {
+	b := New(64)
+	if err := b.Charge(64); err != nil {
+		t.Fatalf("exact-fit charge rejected: %v", err)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d at exact fit, want 0", b.Remaining())
+	}
+	if err := b.Charge(1); !IsOOM(err) {
+		t.Fatalf("one byte past the limit: err = %v, want OOM", err)
+	}
+	if b.Used() != 64 {
+		t.Fatalf("failed charge leaked: used = %d, want 64", b.Used())
+	}
+	// Zero-byte charges are free at any fill level.
+	if err := b.Charge(0); err != nil {
+		t.Fatalf("zero charge at full budget rejected: %v", err)
+	}
+}
+
+// TestReleaseFloor: over-releasing clamps at zero instead of going
+// negative (which would silently widen the budget), and the high-water
+// mark is unaffected by releases.
+func TestReleaseFloor(t *testing.T) {
+	b := New(100)
+	if err := b.Charge(10); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(50)
+	if b.Used() != 0 {
+		t.Fatalf("over-release: used = %d, want 0", b.Used())
+	}
+	if b.Remaining() != 100 {
+		t.Fatalf("Remaining() = %d after clamped release, want 100", b.Remaining())
+	}
+	if b.HighWater() != 10 {
+		t.Fatalf("release moved the high-water mark: %d", b.HighWater())
+	}
+	// The clamp must not have created phantom headroom.
+	if err := b.Charge(100); err != nil {
+		t.Fatalf("full-budget charge after clamp: %v", err)
+	}
+	if err := b.Charge(1); !IsOOM(err) {
+		t.Fatalf("budget widened by over-release: err = %v, want OOM", err)
+	}
+}
+
+// TestRemainingUnlimited: an unlimited budget reports -1 remaining at
+// any fill level and still tracks Used/HighWater.
+func TestRemainingUnlimited(t *testing.T) {
+	b := New(0)
+	if b.Remaining() != -1 {
+		t.Fatalf("Remaining() = %d on unlimited budget, want -1", b.Remaining())
+	}
+	if err := b.Charge(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != -1 {
+		t.Fatalf("Remaining() = %d after charge on unlimited budget, want -1", b.Remaining())
+	}
+	if b.Used() != 1<<40 || b.HighWater() != 1<<40 {
+		t.Fatalf("unlimited budget lost accounting: used=%d high=%d", b.Used(), b.HighWater())
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ringsampler/internal/core"
+)
+
+// job is one engine mini-batch of one request: a chunk of at most
+// Core.BatchSize of the request's targets, with the chunk-derived RNG
+// seed (sample.Mix(request seed, chunk index)). Chunks from different
+// requests coalesce into micro-batches, but each job reseeds the
+// worker's RNG, so its samples are a pure function of (dataset,
+// targets, fanouts, seed) — never of what else rode the same batch.
+type job struct {
+	ctx     context.Context
+	targets []uint32
+	fanouts []int
+	seed    uint64
+	enq     time.Time
+	chunk   int
+	req     *request
+}
+
+func (j *job) finish(b *core.Batch, err error) { j.req.jobDone(j.chunk, b, err) }
+
+// request tracks the fan-out/fan-in of one API call across its chunk
+// jobs: results land by chunk index, the first error wins, and done
+// closes when the last job reports in.
+type request struct {
+	mu      sync.Mutex
+	batches []*core.Batch
+	err     error
+	remain  int
+	done    chan struct{}
+}
+
+func newRequest(chunks int) *request {
+	return &request{
+		batches: make([]*core.Batch, chunks),
+		remain:  chunks,
+		done:    make(chan struct{}),
+	}
+}
+
+func (r *request) jobDone(chunk int, b *core.Batch, err error) {
+	r.mu.Lock()
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	r.batches[chunk] = b
+	r.remain--
+	last := r.remain == 0
+	r.mu.Unlock()
+	if last {
+		close(r.done)
+	}
+}
+
+// result returns the assembled batches or the first error. Only valid
+// after done is closed (no more writers).
+func (r *request) result() ([]*core.Batch, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.batches, nil
+}
+
+// dispatch is the micro-batching loop: it pulls admitted jobs off the
+// bounded queue and coalesces them into a group, flushing when the
+// group reaches MaxBatchTargets targets or when BatchWindow elapses
+// since the group's first job — whichever comes first. Flushes block
+// on the pool when every worker is busy; that is the backpressure that
+// fills the queue and trips admission control.
+func (s *Server) dispatch() {
+	defer close(s.dispatchDone)
+	defer close(s.pool.groups)
+	var (
+		g        group
+		gTargets int
+		timer    *time.Timer
+		timeCh   <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		timeCh = nil
+		if len(g) == 0 {
+			return
+		}
+		s.met.dispatched.Add(1)
+		s.met.batchJobs.Observe(int64(len(g)))
+		s.met.batchTargets.Observe(int64(gTargets))
+		s.pool.groups <- g
+		g = nil
+		gTargets = 0
+	}
+	add := func(j *job) {
+		if len(g) == 0 {
+			timer = time.NewTimer(s.cfg.BatchWindow)
+			timeCh = timer.C
+		}
+		g = append(g, j)
+		gTargets += len(j.targets)
+		if gTargets >= s.cfg.MaxBatchTargets {
+			flush()
+		}
+	}
+	for {
+		select {
+		case j := <-s.queue:
+			add(j)
+		case <-timeCh:
+			flush()
+		case <-s.quit:
+			// Drain: hand every already-admitted job to the pool (workers
+			// skip the ones whose requests are dead), then stop. Jobs
+			// enqueued after this loop empties the channel are abandoned —
+			// their handlers unblock through their canceled contexts.
+			for {
+				select {
+				case j := <-s.queue:
+					add(j)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}

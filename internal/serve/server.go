@@ -1,0 +1,451 @@
+// Package serve is the online sampling service in front of the core
+// engine: a long-running HTTP server that coalesces many small
+// concurrent sampling requests into the micro-batches the per-thread
+// ring workers are built for (paper Fig 3a), with admission control in
+// front of them.
+//
+// The shape follows what DiskGNN and Jiang et al. argue for disk-based
+// GNN serving: a single coalescing/admission layer in front of a fixed
+// worker pool, never a worker per connection — uncoordinated concurrent
+// samplers destroy disk throughput, and a bounded queue that fast-fails
+// beats one that queues unboundedly.
+//
+//	POST /v1/sample  — {"targets":[...],"fanouts":[...],"seed":N} → layered samples
+//	GET  /healthz    — liveness (503 while draining)
+//	GET  /metrics    — Prometheus text: queue depth, batch-size histogram,
+//	                   per-stage latency, ring IOStats, rejection counts
+//
+// Determinism contract: the response to (targets, fanouts, seed) is
+// byte-identical to a direct single-threaded core run — the request is
+// sharded into Core.BatchSize chunks and chunk i is sampled with RNG
+// seed sample.Mix(seed, i), exactly how core.RunEpoch seeds its
+// mini-batches — regardless of which micro-batch the chunks were
+// coalesced into or which pooled worker ran them.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// maxBodyBytes bounds how much request JSON a client can make the
+// server buffer.
+const maxBodyBytes = 8 << 20
+
+// Config controls the serving layer. Zero values for the serving knobs
+// select the documented defaults; Core carries the engine config
+// (Core.Threads is the worker-pool size, Core.BatchSize the chunking
+// granularity of the determinism contract).
+type Config struct {
+	// Core is the engine configuration behind the pool.
+	Core core.Config
+	// Backend selects the ring backend; empty picks io_uring when the
+	// environment supports it, the portable pread pool otherwise.
+	Backend uring.Backend
+	// QueueDepth bounds the admission queue in jobs (chunks). A full
+	// queue fast-fails new requests with 429 instead of queuing
+	// unboundedly. Default 256.
+	QueueDepth int
+	// BatchWindow is how long the dispatcher waits for more jobs after
+	// a group's first job before flushing a partial micro-batch.
+	// Default 2ms.
+	BatchWindow time.Duration
+	// MaxBatchTargets flushes a micro-batch as soon as it holds this
+	// many targets. Default Core.BatchSize.
+	MaxBatchTargets int
+	// MaxTargetsPerRequest rejects oversized requests with 400.
+	// Default 4 × Core.BatchSize.
+	MaxTargetsPerRequest int
+	// MaxFanoutLayers / MaxFanout bound per-request fanout shapes
+	// (frontier explosion guard). Defaults 8 and 256.
+	MaxFanoutLayers int
+	MaxFanout       int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none; MaxTimeout caps client-requested deadlines. Defaults 10s
+	// and 60s.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// DefaultConfig returns the serving defaults over the engine defaults.
+func DefaultConfig() Config {
+	return Config{
+		Core:           core.DefaultConfig(),
+		QueueDepth:     256,
+		BatchWindow:    2 * time.Millisecond,
+		DefaultTimeout: 10 * time.Second,
+		MaxTimeout:     60 * time.Second,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatchTargets == 0 {
+		c.MaxBatchTargets = c.Core.BatchSize
+	}
+	if c.MaxTargetsPerRequest == 0 {
+		c.MaxTargetsPerRequest = 4 * c.Core.BatchSize
+	}
+	if c.MaxFanoutLayers == 0 {
+		c.MaxFanoutLayers = 8
+	}
+	if c.MaxFanout == 0 {
+		c.MaxFanout = 256
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.Backend == "" {
+		if uring.Probe() {
+			c.Backend = uring.BackendIOURing
+		} else {
+			c.Backend = uring.BackendPool
+		}
+	}
+}
+
+func (c *Config) validate() error {
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("serve: queue depth %d must be positive", c.QueueDepth)
+	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("serve: batch window %v must be non-negative", c.BatchWindow)
+	}
+	if c.MaxBatchTargets < 1 {
+		return fmt.Errorf("serve: max batch targets %d must be positive", c.MaxBatchTargets)
+	}
+	if c.MaxTargetsPerRequest < 1 {
+		return fmt.Errorf("serve: max targets per request %d must be positive", c.MaxTargetsPerRequest)
+	}
+	return nil
+}
+
+// Server is the running service: sampler + worker pool + dispatcher +
+// HTTP front end. Create with New, serve with Serve, stop with
+// Shutdown.
+type Server struct {
+	cfg  Config
+	ds   *storage.Dataset
+	s    *core.Sampler
+	met  *metrics
+	pool *pool
+
+	queue        chan *job
+	quit         chan struct{}
+	dispatchDone chan struct{}
+
+	http     *http.Server
+	draining atomic.Bool
+	// baseCtx force-cancels every in-flight request when a drain
+	// deadline expires.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	shutOnce   sync.Once
+	shutErr    error
+}
+
+// New validates the config, builds the sampler (hot cache included when
+// budgeted), and starts the worker pool and dispatcher. The server is
+// live once Serve is called on a listener.
+func New(ds *storage.Dataset, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sampler, err := core.New(ds, cfg.Core, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:          cfg,
+		ds:           ds,
+		s:            sampler,
+		met:          newMetrics(),
+		queue:        make(chan *job, cfg.QueueDepth),
+		quit:         make(chan struct{}),
+		dispatchDone: make(chan struct{}),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.pool = newPool(sampler, s.met, cfg.Core.Threads)
+	go s.dispatch()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Config returns the server's effective (default-filled) config.
+func (s *Server) Config() Config { return s.cfg }
+
+// IOStats returns the pool's merged ring-level I/O counters, retired
+// workers included.
+func (s *Server) IOStats() core.IOStats { return s.pool.Stats() }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
+
+// Shutdown drains gracefully: stop admitting, let in-flight requests
+// finish through the pipeline, then stop the dispatcher and workers.
+// When ctx expires first, outstanding requests are force-canceled and
+// connections closed — workers still never die mid-batch. Safe to call
+// once; later calls return the first result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		// Drain HTTP first: Shutdown waits for active handlers, and every
+		// handler waits for its jobs, so the queue empties through the
+		// workers before the pipeline is stopped.
+		err := s.http.Shutdown(ctx)
+		if err != nil {
+			// Deadline expired mid-drain: cancel every in-flight request
+			// (handlers unblock via their contexts) and force connections
+			// closed.
+			s.cancelBase()
+			s.http.Close()
+		}
+		close(s.quit)
+		<-s.dispatchDone
+		s.pool.wait()
+		s.cancelBase()
+		s.shutErr = err
+	})
+	return s.shutErr
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.pool.Stats(), s.cfg.Core.Threads, s.cfg.QueueDepth)
+}
+
+// sampleRequest is the POST /v1/sample body.
+type sampleRequest struct {
+	// Targets are the nodes to sample neighborhoods for.
+	Targets []uint32 `json:"targets"`
+	// Fanouts are the per-layer sample counts, outermost first; empty
+	// uses the server's configured fanouts.
+	Fanouts []int `json:"fanouts,omitempty"`
+	// Seed drives the request's sampling randomness; equal requests
+	// with equal seeds get byte-identical responses.
+	Seed uint64 `json:"seed"`
+	// TimeoutMS overrides the server's default per-request deadline
+	// (capped at the server's MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type layerJSON struct {
+	Targets   []uint32 `json:"targets"`
+	Starts    []int64  `json:"starts"`
+	Neighbors []uint32 `json:"neighbors"`
+}
+
+type batchJSON struct {
+	Layers []layerJSON `json:"layers"`
+	Digest string      `json:"digest"`
+}
+
+// sampleResponse is the POST /v1/sample reply: one batch per
+// Core.BatchSize chunk of the request's targets (a request at or under
+// the chunk size gets exactly one).
+type sampleResponse struct {
+	Batches []batchJSON `json:"batches"`
+	// Digest folds the per-batch digests (FNV-style), hex-encoded —
+	// uint64s don't survive JSON number precision.
+	Digest    string  `json:"digest"`
+	Sampled   int64   `json:"sampled_entries"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.met.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	if s.draining.Load() {
+		s.met.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	var req sampleRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Targets) == 0 {
+		s.badRequest(w, "request needs at least one target")
+		return
+	}
+	if len(req.Targets) > s.cfg.MaxTargetsPerRequest {
+		s.badRequest(w, fmt.Sprintf("request has %d targets, limit %d", len(req.Targets), s.cfg.MaxTargetsPerRequest))
+		return
+	}
+	numNodes := uint32(s.ds.NumNodes())
+	for i, v := range req.Targets {
+		if v >= numNodes {
+			s.badRequest(w, fmt.Sprintf("target[%d] = %d out of range (graph has %d nodes)", i, v, numNodes))
+			return
+		}
+	}
+	fanouts := req.Fanouts
+	if len(fanouts) == 0 {
+		fanouts = s.cfg.Core.Fanouts
+	}
+	if len(fanouts) > s.cfg.MaxFanoutLayers {
+		s.badRequest(w, fmt.Sprintf("%d fanout layers, limit %d", len(fanouts), s.cfg.MaxFanoutLayers))
+		return
+	}
+	for i, f := range fanouts {
+		if f < 1 || f > s.cfg.MaxFanout {
+			s.badRequest(w, fmt.Sprintf("fanout[%d] = %d out of range [1,%d]", i, f, s.cfg.MaxFanout))
+			return
+		}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	// A forced drain cancels every in-flight request through baseCtx.
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAfter()
+
+	t0 := time.Now()
+	s.met.requests.Add(1)
+
+	// Shard into the engine's mini-batch granularity. Chunk i samples
+	// under sample.Mix(seed, i) — the same derivation core.RunEpoch
+	// uses per batch — which is what makes the response independent of
+	// coalescing, worker identity, and pool size.
+	chunkSize := s.cfg.Core.BatchSize
+	numChunks := (len(req.Targets) + chunkSize - 1) / chunkSize
+	rq := newRequest(numChunks)
+	for ci := 0; ci < numChunks; ci++ {
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > len(req.Targets) {
+			hi = len(req.Targets)
+		}
+		j := &job{
+			ctx:     ctx,
+			targets: req.Targets[lo:hi],
+			fanouts: fanouts,
+			seed:    sample.Mix(req.Seed, uint64(ci)),
+			enq:     time.Now(),
+			chunk:   ci,
+			req:     rq,
+		}
+		select {
+		case s.queue <- j:
+			s.met.queueDepth.Add(1)
+		default:
+			// Admission control: the bounded queue is full — fast-fail
+			// rather than queue unboundedly. Cancel the request context
+			// so chunks already admitted are skipped, not sampled.
+			cancel()
+			s.met.rejectedFull.Add(1)
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "sampling queue full, retry later"})
+			return
+		}
+	}
+
+	select {
+	case <-rq.done:
+	case <-ctx.Done():
+		s.failCanceled(w, ctx)
+		return
+	}
+	batches, err := rq.result()
+	if err != nil {
+		// Jobs can also surface the request's own cancellation.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.failCanceled(w, ctx)
+			return
+		}
+		s.met.sampleErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "sampling failed: " + err.Error()})
+		return
+	}
+
+	resp := sampleResponse{Batches: make([]batchJSON, len(batches))}
+	var folded uint64
+	for i, b := range batches {
+		bj := batchJSON{Layers: make([]layerJSON, len(b.Layers))}
+		for li := range b.Layers {
+			l := &b.Layers[li]
+			bj.Layers[li] = layerJSON{Targets: l.Targets, Starts: l.Starts, Neighbors: l.Neighbors}
+		}
+		d := b.Digest()
+		bj.Digest = fmt.Sprintf("%016x", d)
+		folded = folded*0x100000001b3 ^ d
+		resp.Sampled += b.TotalSampled()
+		resp.Batches[i] = bj
+	}
+	resp.Digest = fmt.Sprintf("%016x", folded)
+	resp.ElapsedMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+	s.met.responsesOK.Add(1)
+	s.met.requestLat.Observe(time.Since(t0).Nanoseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// failCanceled maps a dead request context to its status: 504 for a
+// deadline, 503 for everything else (client gone, forced drain).
+func (s *Server) failCanceled(w http.ResponseWriter, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.met.deadlineExceeded.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled"})
+}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"encoding/binary"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -110,5 +112,71 @@ func TestOpenRejectsManifestMismatch(t *testing.T) {
 	}
 	if _, err := Open(dir); err == nil {
 		t.Fatal("Open accepted dataset with wrong manifest counts")
+	}
+}
+
+// TestReadAtEdgeCases pins Dataset.ReadAt's contract at the file
+// boundaries — the hot-neighbor cache builder and the ring backends
+// both read through the same pread semantics, so zero-length reads,
+// reads ending exactly at EOF, reads crossing EOF, and reads starting
+// at or past EOF must behave like pread(2).
+func TestReadAtEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	writeTestDataset(t, dir) // 6 edges × 4 bytes = 24-byte edge file
+	ds, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	size := ds.NumEdges() * EntryBytes
+
+	// Zero-length read: 0 bytes, no error, at any offset.
+	for _, off := range []int64{0, size / 2, size, size + 100} {
+		n, err := ds.ReadAt(nil, off)
+		if n != 0 || err != nil {
+			t.Fatalf("zero-length read at %d: (%d, %v), want (0, nil)", off, n, err)
+		}
+	}
+
+	// A read ending exactly at EOF returns full bytes. os.File.ReadAt
+	// may report io.EOF alongside the full count; both are valid.
+	buf := make([]byte, EntryBytes)
+	n, err := ds.ReadAt(buf, size-EntryBytes)
+	if n != EntryBytes || (err != nil && err != io.EOF) {
+		t.Fatalf("read ending at EOF: (%d, %v), want (%d, nil|io.EOF)", n, err, EntryBytes)
+	}
+	// The last entry is node 3's single neighbor, 2.
+	if got := binary.LittleEndian.Uint32(buf); got != 2 {
+		t.Fatalf("last entry = %d, want 2", got)
+	}
+
+	// A read crossing EOF returns the in-range prefix and io.EOF.
+	big := make([]byte, 16)
+	n, err = ds.ReadAt(big, size-4)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("read crossing EOF: (%d, %v), want (4, io.EOF)", n, err)
+	}
+
+	// Reads starting at EOF or past it return (0, io.EOF).
+	for _, off := range []int64{size, size + 1, size + 1<<20} {
+		n, err := ds.ReadAt(buf, off)
+		if n != 0 || err != io.EOF {
+			t.Fatalf("read at/past EOF offset %d: (%d, %v), want (0, io.EOF)", off, n, err)
+		}
+	}
+
+	// ReadAt and LoadEdges must agree byte for byte over the whole file.
+	all := make([]byte, size)
+	if n, err := ds.ReadAt(all, 0); int64(n) != size || (err != nil && err != io.EOF) {
+		t.Fatalf("full read: (%d, %v)", n, err)
+	}
+	edges, err := ds.LoadEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
+		if got := binary.LittleEndian.Uint32(all[i*EntryBytes:]); got != e {
+			t.Fatalf("entry %d: ReadAt sees %d, LoadEdges sees %d", i, got, e)
+		}
 	}
 }

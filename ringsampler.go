@@ -20,6 +20,8 @@
 package ringsampler
 
 import (
+	"context"
+
 	"ringsampler/internal/core"
 	"ringsampler/internal/gen"
 	"ringsampler/internal/storage"
@@ -82,4 +84,13 @@ func NewSampler(ds *Dataset, cfg Config) (*Sampler, error) {
 // invoked strictly in batch order on the calling goroutine.
 func RunEpoch(s *Sampler, targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
 	return s.RunEpoch(targets, onBatch)
+}
+
+// RunEpochCtx is RunEpoch with graceful cancellation: when ctx is
+// canceled mid-epoch no further batches are dispatched, in-flight
+// batches finish, and the partial stats drained so far are returned
+// alongside the context's error (EpochStats.Completed says how many
+// batches actually ran).
+func RunEpochCtx(ctx context.Context, s *Sampler, targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
+	return s.RunEpochCtx(ctx, targets, onBatch)
 }

@@ -40,4 +40,12 @@ if [ "${QUICK:-0}" != "1" ]; then
         -threads 4 -targets 2048 -batch 256 \
         -bench-json benchdata/BENCH_epoch.json >/dev/null
     echo "wrote benchdata/BENCH_epoch.json"
+
+    # Serving load smoke: the closed-loop offered-load sweep against an
+    # in-process server (throughput, p50/p99, rejection rate per client
+    # count). CI uploads the JSON as an artifact.
+    go run ./cmd/serve -data benchdata/bench/ogbn-papers-div20000 \
+        -backend pool -threads 4 -batch 256 \
+        -bench-json benchdata/BENCH_serve.json -bench-quick >/dev/null
+    echo "wrote benchdata/BENCH_serve.json"
 fi
