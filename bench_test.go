@@ -313,7 +313,7 @@ func BenchmarkRealSampleBatch(b *testing.B) {
 	defer ds.Close()
 
 	backends := []uring.Backend{uring.BackendPool}
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		backends = append(backends, uring.BackendIOURing)
 	}
 	targets := make([]uint32, 256)

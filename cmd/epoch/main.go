@@ -14,11 +14,23 @@
 // 64 MiB and writes the machine-readable throughput summary the bench
 // harness tracks.
 //
+// The io_uring fast-path knobs are plumbed through as flags:
+// -uring-fixed (registered buffers + READ_FIXED), -uring-regfiles
+// (IOSQE_FIXED_FILE), -uring-sqpoll (kernel-thread submission),
+// -odirect (page-cache bypass with probed alignment) and -depth
+// (in-flight cap). -probe prints the per-feature capability set;
+// -bench-uring runs the knob-ablation sweep and writes
+// benchdata/BENCH_uring.json-shaped output with digest identity
+// enforced across combinations.
+//
 // Usage:
 //
 //	go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 -threads 8 -targets 4096
 //	go run ./cmd/epoch -targets 8192 -invariance   # generates a temporary R-MAT graph
 //	go run ./cmd/epoch -targets 4096 -cache-mb 64 -bench-json benchdata/BENCH_epoch.json
+//	go run ./cmd/epoch -probe
+//	go run ./cmd/epoch -targets 4096 -uring-fixed -uring-sqpoll -odirect
+//	go run ./cmd/epoch -targets 2048 -bench-uring benchdata/BENCH_uring.json
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"syscall"
 
 	"ringsampler/internal/core"
+	"ringsampler/internal/exp"
 	"ringsampler/internal/gen"
 	"ringsampler/internal/graph"
 	"ringsampler/internal/sample"
@@ -73,9 +86,26 @@ func run(args []string, out io.Writer) error {
 		invariance = fs.Bool("invariance", false, "rerun at 1 and 2 threads and diff per-batch digests")
 		cacheMB    = fs.Int64("cache-mb", 0, "hot-neighbor cache budget in MiB (0: cache off)")
 		benchJSON  = fs.String("bench-json", "", "write a JSON throughput summary at cache budgets 0 and 64 MiB to this file")
+		probe      = fs.Bool("probe", false, "print the probed io_uring capability set and exit")
+		uringFixed = fs.Bool("uring-fixed", false, "register worker arenas and read via IORING_OP_READ_FIXED (emulated on pool/sim)")
+		uringReg   = fs.Bool("uring-regfiles", false, "register the edge file and submit with IOSQE_FIXED_FILE (real backend only)")
+		uringSQP   = fs.Bool("uring-sqpoll", false, "create SQPOLL rings: kernel-thread submission, zero steady-state submit syscalls (real backend only)")
+		odirect    = fs.Bool("odirect", false, "open the edge file O_DIRECT (falls back to buffered with a logged reason when unsupported)")
+		depth      = fs.Int("depth", 0, "cap in-flight reads per worker (0: bounded only by the ring)")
+		benchUring = fs.String("bench-uring", "", "run the knob-ablation sweep and write its JSON summary to this file")
+		benchQuick = fs.Bool("bench-uring-quick", false, "shrink the knob sweep to the plain-vs-fixed smoke pair")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *probe {
+		caps := uring.Probe()
+		fmt.Fprintf(out, "io_uring capabilities: %s\n", caps)
+		fmt.Fprintf(out, "  ring:             %v\n", caps.Ring)
+		fmt.Fprintf(out, "  fixed buffers:    %v\n", caps.ReadFixed)
+		fmt.Fprintf(out, "  registered files: %v\n", caps.RegisteredFiles)
+		fmt.Fprintf(out, "  sqpoll:           %v\n", caps.SQPoll)
+		return nil
 	}
 	// SIGINT/SIGTERM drain the epoch gracefully: no further batches are
 	// dispatched, in-flight ones finish, and the partial stats are still
@@ -103,7 +133,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	ds, err := storage.Open(dir)
+	ds, err := storage.OpenWith(dir, storage.OpenOptions{Direct: *odirect})
 	if err != nil {
 		return err
 	}
@@ -112,6 +142,10 @@ func run(args []string, out io.Writer) error {
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.CacheBudgetBytes = *cacheMB << 20
+	cfg.FixedBuffers = *uringFixed
+	cfg.RegisteredFiles = *uringReg
+	cfg.SQPoll = *uringSQP
+	cfg.Depth = *depth
 	if *threads > 0 {
 		cfg.Threads = *threads
 	}
@@ -119,6 +153,13 @@ func run(args []string, out io.Writer) error {
 		cfg.BatchSize = *batch
 	}
 	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), be)
+	if *odirect && ds.DirectAlign() > 0 {
+		fmt.Fprintf(out, "O_DIRECT active: %d-byte alignment\n", ds.DirectAlign())
+	}
+
+	if *benchUring != "" {
+		return writeBenchUring(out, *benchUring, dir, cfg, be, *targets, *benchQuick)
+	}
 
 	rng := sample.NewRNG(sample.Mix(*seed, 0xe90c))
 	epochTargets := make([]uint32, *targets)
@@ -267,10 +308,77 @@ func writeBenchJSON(ctx context.Context, out io.Writer, path, dir string, ds *st
 	return nil
 }
 
+// writeBenchUring runs the knob-ablation sweep (exp.UringSweep) on the
+// dataset and writes the per-combination JSON summary
+// (benchdata/BENCH_uring.json in CI): entries/s, syscalls-per-batch,
+// and device bytes per knob combination, with digest identity enforced
+// by the sweep itself.
+func writeBenchUring(out io.Writer, path, dir string, cfg core.Config, be uring.Backend, targets int, quick bool) error {
+	combos := exp.DefaultUringCombos(quick)
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	points, err := exp.UringSweep(dir, exp.Options{
+		Targets:   targets,
+		BatchSize: cfg.BatchSize,
+		Threads:   cfg.Threads,
+	}, be, combos, reps, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	// The micro section isolates the ring I/O path from the (CPU-bound)
+	// sampling work: raw 4 KiB reads at each submission depth and knob
+	// combination, where deep batching and fixed buffers are visible
+	// instead of diluted.
+	micro, err := exp.UringMicro(dir, be, exp.DefaultUringMicroCombos(quick), 4096, 16384, reps, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	type sweepFile struct {
+		Dataset string                `json:"dataset"`
+		Backend string                `json:"backend"`
+		Caps    string                `json:"caps"`
+		Threads int                   `json:"threads"`
+		Targets int                   `json:"targets"`
+		Points  []exp.UringPoint      `json:"points"`
+		Micro   []exp.UringMicroPoint `json:"micro"`
+	}
+	sf := sweepFile{
+		Dataset: dir,
+		Backend: string(be),
+		Caps:    uring.Probe().String(),
+		Threads: cfg.Threads,
+		Targets: targets,
+	}
+	sf.Points = points
+	sf.Micro = micro
+	for _, p := range points {
+		fmt.Fprintf(out, "%-40s %12.0f entries/s  %8.1f syscalls/batch  %9d device B  (active %s)\n",
+			p.Combo, p.EntriesPerSec, p.SyscallsPerBatch, p.DeviceBytes, p.Active)
+	}
+	for _, m := range micro {
+		fmt.Fprintf(out, "micro %-34s %12.0f reads/s  %10.1f MB/s  %8.2f syscalls/read  (active %s)\n",
+			m.Name, m.ReadsPerSec, m.MBPerSec, m.SyscallsPerRead, m.Active)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "uring knob sweep written to %s\n", path)
+	return nil
+}
+
 func pickBackend(name string) (uring.Backend, error) {
 	switch name {
 	case "auto":
-		if uring.Probe() {
+		if uring.Probe().Ring {
 			return uring.BackendIOURing, nil
 		}
 		return uring.BackendPool, nil

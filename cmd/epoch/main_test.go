@@ -38,6 +38,13 @@ func (r *flipRing) PrepRead(id uint64, off int64, buf []byte) bool {
 	r.bufs[id] = buf
 	return true
 }
+func (r *flipRing) PrepReadFixed(id uint64, off int64, buf []byte, bufIndex int) bool {
+	if !r.inner.PrepReadFixed(id, off, buf, bufIndex) {
+		return false
+	}
+	r.bufs[id] = buf
+	return true
+}
 func (r *flipRing) Submit() (int, error) { return r.inner.Submit() }
 func (r *flipRing) Entries() int         { return r.inner.Entries() }
 func (r *flipRing) Close() error         { return r.inner.Close() }
@@ -140,5 +147,87 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-cache-mb", "-3"}, io.Discard); err == nil {
 		t.Fatal("negative cache budget accepted")
+	}
+}
+
+// TestRunProbe: -probe prints the per-feature capability set and exits
+// cleanly without touching a dataset.
+func TestRunProbe(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-probe"}, &sb); err != nil {
+		t.Fatalf("run -probe: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"io_uring capabilities:", "fixed buffers:", "registered files:", "sqpoll:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("probe output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "io_uring capabilities: "+uring.Probe().String()) {
+		t.Fatalf("probe output disagrees with uring.Probe() = %s:\n%s", uring.Probe(), out)
+	}
+}
+
+// TestRunKnobFlags: the knob flags thread through to a working epoch on
+// every backend, downgrading (not failing) where a knob has no effect.
+func TestRunKnobFlags(t *testing.T) {
+	dir := testGraphDir(t)
+	err := run([]string{
+		"-data", dir, "-backend", "pool", "-targets", "256", "-batch", "64",
+		"-threads", "2", "-uring-fixed", "-uring-regfiles", "-uring-sqpoll",
+		"-odirect", "-depth", "8",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run with knob flags: %v", err)
+	}
+}
+
+// TestRunBenchUring: the quick knob sweep writes a two-point
+// (plain, fixed) JSON summary with identical digests and positive
+// throughput.
+func TestRunBenchUring(t *testing.T) {
+	dir := testGraphDir(t)
+	path := filepath.Join(t.TempDir(), "BENCH_uring.json")
+	err := run([]string{
+		"-data", dir, "-backend", "pool", "-targets", "256", "-batch", "64",
+		"-threads", "2", "-bench-uring", path, "-bench-uring-quick",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run -bench-uring: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf struct {
+		Backend string `json:"backend"`
+		Caps    string `json:"caps"`
+		Points  []struct {
+			Combo         string  `json:"combo"`
+			Active        string  `json:"active"`
+			EntriesPerSec float64 `json:"entries_per_sec"`
+			FixedReads    int64   `json:"fixed_reads"`
+			Digest        uint64  `json:"digest"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(sf.Points) != 2 || sf.Points[0].Combo != "plain" || sf.Points[1].Combo != "fixed" {
+		t.Fatalf("unexpected points: %+v", sf.Points)
+	}
+	if sf.Points[0].Digest != sf.Points[1].Digest {
+		t.Fatal("quick sweep digests differ between plain and fixed")
+	}
+	for _, p := range sf.Points {
+		if p.EntriesPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+	}
+	if sf.Points[1].FixedReads == 0 {
+		t.Fatal("fixed point recorded no fixed reads")
+	}
+	if sf.Caps == "" {
+		t.Fatal("sweep file missing probed caps")
 	}
 }

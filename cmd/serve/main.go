@@ -72,6 +72,11 @@ func run(args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max graceful-drain wait on SIGINT/SIGTERM")
 		benchJSON    = fs.String("bench-json", "", "run the closed-loop load sweep instead of serving; write the JSON summary to this file")
 		benchQuick   = fs.Bool("bench-quick", false, "shrink the load sweep to a smoke-test size")
+		uringFixed   = fs.Bool("uring-fixed", false, "register worker arenas and read via IORING_OP_READ_FIXED (emulated on pool/sim)")
+		uringReg     = fs.Bool("uring-regfiles", false, "register the edge file and submit with IOSQE_FIXED_FILE (real backend only)")
+		uringSQP     = fs.Bool("uring-sqpoll", false, "create SQPOLL rings: kernel-thread submission (real backend only)")
+		odirect      = fs.Bool("odirect", false, "open the edge file O_DIRECT (falls back to buffered with a logged reason when unsupported)")
+		depth        = fs.Int("depth", 0, "cap in-flight reads per worker (0: bounded only by the ring)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +102,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	ds, err := storage.Open(dir)
+	ds, err := storage.OpenWith(dir, storage.OpenOptions{Direct: *odirect})
 	if err != nil {
 		return err
 	}
@@ -106,6 +111,10 @@ func run(args []string, out io.Writer) error {
 	cfg := serve.DefaultConfig()
 	cfg.Backend = be
 	cfg.Core.CacheBudgetBytes = *cacheMB << 20
+	cfg.Core.FixedBuffers = *uringFixed
+	cfg.Core.RegisteredFiles = *uringReg
+	cfg.Core.SQPoll = *uringSQP
+	cfg.Core.Depth = *depth
 	if *threads > 0 {
 		cfg.Core.Threads = *threads
 	}
@@ -209,7 +218,7 @@ func runBench(out io.Writer, ds *storage.Dataset, cfg serve.Config, path string,
 func pickBackend(name string) (uring.Backend, error) {
 	switch strings.ToLower(name) {
 	case "auto":
-		if uring.Probe() {
+		if uring.Probe().Ring {
 			return uring.BackendIOURing, nil
 		}
 		return uring.BackendPool, nil

@@ -23,7 +23,7 @@ var cacheBudgets = []int64{0, 16 << 10, 64 << 10, 1 << 30}
 func TestCacheDigestInvariance(t *testing.T) {
 	ds := testDataset(t)
 	backends := []uring.Backend{uring.BackendPool, uring.BackendSim}
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		backends = append(backends, uring.BackendIOURing)
 	} else {
 		t.Log("io_uring unavailable; real backend skipped")

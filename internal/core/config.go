@@ -17,6 +17,12 @@ import (
 // DefaultFanouts is the paper's 3-layer GraphSAGE fanout {20,15,10}.
 var DefaultFanouts = []int{20, 15, 10}
 
+// DefaultArenaBytes is the per-worker registered arena size when
+// Config.FixedBuffers is on and ArenaBytes is 0: big enough that every
+// layer of the default fanout/batch fits, small enough that 8 workers
+// cost tens of megabytes.
+const DefaultArenaBytes = 8 << 20
+
 // Config controls the engine. The ablation switches (AsyncPipeline,
 // OffsetSampling) exist so the paper's design choices can be measured
 // against their alternatives; production use leaves both true.
@@ -49,6 +55,34 @@ type Config struct {
 	// remaining byte range) before the worker surfaces a structured
 	// *IOError. 0 disables retries entirely.
 	MaxIORetries int
+	// FixedBuffers registers each worker's workspace arena with its ring
+	// (IORING_REGISTER_BUFFERS) and issues IORING_OP_READ_FIXED, skipping
+	// per-read page pinning on the real backend. Pool/sim emulate the
+	// validation, so conformance runs everywhere; on the real backend the
+	// knob downgrades (with one log line) when the kernel refuses
+	// registration. Byte output is identical either way.
+	FixedBuffers bool
+	// RegisteredFiles registers the edge file with each worker's ring
+	// (IORING_REGISTER_FILES) so SQEs carry IOSQE_FIXED_FILE and skip the
+	// per-SQE fd lookup. Real backend only; accepted and ignored by
+	// pool/sim, downgraded with a log line when the kernel refuses.
+	RegisteredFiles bool
+	// SQPoll creates each worker's ring with IORING_SETUP_SQPOLL: a
+	// kernel thread consumes the SQ and steady-state submission costs
+	// zero syscalls. Real backend only; accepted and ignored by pool/sim,
+	// downgraded with a log line when the kernel refuses.
+	SQPoll bool
+	// Depth caps each worker's in-flight read requests. 0 (default)
+	// bounds staging only by the ring's own SQ/CQ capacity — the deepest
+	// pipeline. A positive value trades pipeline depth for memory (the
+	// O_DIRECT path allocates aligned scratch per in-flight request) and
+	// latency.
+	Depth int
+	// ArenaBytes sizes each worker's registered workspace arena when
+	// FixedBuffers is on (0 selects DefaultArenaBytes). Layers whose
+	// buffers outgrow the arena fall back to plain reads for that layer —
+	// correctness never depends on the arena being big enough.
+	ArenaBytes int64
 	// CacheBudgetBytes is the memory budget (bytes, accounted through
 	// memctl) for the hot-neighbor cache: the complete neighbor lists of
 	// the highest-degree nodes, pinned at sampler construction and
@@ -99,6 +133,12 @@ func (c *Config) validate() error {
 	}
 	if c.MaxIORetries < 0 {
 		return fmt.Errorf("core: max I/O retries %d must be non-negative", c.MaxIORetries)
+	}
+	if c.Depth < 0 {
+		return fmt.Errorf("core: depth %d must be non-negative", c.Depth)
+	}
+	if c.ArenaBytes < 0 {
+		return fmt.Errorf("core: arena bytes %d must be non-negative", c.ArenaBytes)
 	}
 	if c.CacheBudgetBytes < 0 {
 		return fmt.Errorf("core: cache budget %d must be non-negative", c.CacheBudgetBytes)

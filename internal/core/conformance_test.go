@@ -64,7 +64,7 @@ func TestCrossBackendConformance(t *testing.T) {
 		{"cache-fault-sim-nasty", uring.BackendSim, faultWrap(nasty), 48 << 10},
 		{"cache-fault-pool-mild", uring.BackendPool, faultWrap(mild), 48 << 10},
 	}
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		cases = append(cases,
 			confCase{"io_uring", uring.BackendIOURing, nil, 0},
 			confCase{"fault-io_uring", uring.BackendIOURing, faultWrap(mild), 0},

@@ -98,7 +98,7 @@ func TestWorkerDeterminism(t *testing.T) {
 	// property of (seed, worker ID), not of the I/O backend.
 	c := sampleOnce(t, ds, cfg, uring.BackendSim, targets)
 	assertBatchesEqual(t, a, c, "pool/sim")
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		d := sampleOnce(t, ds, cfg, uring.BackendIOURing, targets)
 		assertBatchesEqual(t, a, d, "pool/io_uring")
 	}

@@ -71,7 +71,7 @@ func TestEpochThreadInvariance(t *testing.T) {
 		}
 	}
 	// The real io_uring backend must agree with the pool digests too.
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		cfg := DefaultConfig()
 		cfg.Seed = 7
 		cfg.BatchSize = 32

@@ -100,6 +100,27 @@ type IOStats struct {
 	CacheHits   int64
 	CacheMisses int64
 	CacheBytes  int64
+	// FixedReads is how many requests completed through a registered
+	// fixed buffer (IORING_OP_READ_FIXED, or its pool/sim emulation).
+	FixedReads int64
+	// AlignSlackBytes is the device bytes the O_DIRECT path read beyond
+	// the requested entry ranges: alignment rounding plus re-read overlap
+	// after aligned resubmission. Device traffic for a worker is
+	// BytesRead + AlignSlackBytes.
+	AlignSlackBytes int64
+	// SubmitSyscalls / WaitSyscalls are the worker ring's kernel
+	// crossings (see uring.Syscalls): submission-side enters (or preads
+	// for pool/sim) and blocking completion-side enters. Divide by batch
+	// count for the paper's syscalls-per-batch metric.
+	SubmitSyscalls int64
+	WaitSyscalls   int64
+	// Active* record which fast-path knobs actually ran for this worker —
+	// after capability downgrades — so benchmark output is honest about
+	// what was measured. OR-merged by Add.
+	ActiveFixed    bool
+	ActiveRegFiles bool
+	ActiveSQPoll   bool
+	ActiveODirect  bool
 }
 
 // Add accumulates o's counters into s. The epoch runner uses it to
@@ -114,6 +135,14 @@ func (s *IOStats) Add(o IOStats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheBytes += o.CacheBytes
+	s.FixedReads += o.FixedReads
+	s.AlignSlackBytes += o.AlignSlackBytes
+	s.SubmitSyscalls += o.SubmitSyscalls
+	s.WaitSyscalls += o.WaitSyscalls
+	s.ActiveFixed = s.ActiveFixed || o.ActiveFixed
+	s.ActiveRegFiles = s.ActiveRegFiles || o.ActiveRegFiles
+	s.ActiveSQPoll = s.ActiveSQPoll || o.ActiveSQPoll
+	s.ActiveODirect = s.ActiveODirect || o.ActiveODirect
 }
 
 // transientErrno reports whether errno is worth retrying: the request

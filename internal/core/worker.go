@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"syscall"
 
@@ -18,10 +19,54 @@ type Sampler struct {
 	ds      *storage.Dataset
 	cfg     Config
 	backend uring.Backend
+	// active is the effective fast-path knob set after capability
+	// downgrades — what workers actually run, as opposed to what Config
+	// requested.
+	active activeKnobs
 	// hot is the shared hot-neighbor cache (nil when disabled):
 	// immutable after New, so workers consult it with no
 	// synchronization.
 	hot *cache.Hot
+}
+
+// activeKnobs is the resolved fast-path feature set. fixed means the
+// PrepReadFixed path runs (kernel-registered on the real backend,
+// emulated on pool/sim); regFiles and sqpoll are real-backend-only.
+type activeKnobs struct {
+	fixed    bool
+	regFiles bool
+	sqpoll   bool
+}
+
+// resolveKnobs intersects the requested knobs with what the backend and
+// kernel grant, logging each downgrade once (at Sampler construction)
+// so a benchmark never silently measures less than it claims.
+func resolveKnobs(cfg *Config, backend uring.Backend, ds *storage.Dataset) activeKnobs {
+	var a activeKnobs
+	if backend == uring.BackendIOURing {
+		caps := uring.Probe()
+		a.fixed = cfg.FixedBuffers && caps.ReadFixed
+		a.regFiles = cfg.RegisteredFiles && caps.RegisteredFiles
+		a.sqpoll = cfg.SQPoll && caps.SQPoll
+		if cfg.FixedBuffers && !caps.ReadFixed {
+			log.Printf("core: fixed buffers requested but unavailable (caps %s); using plain reads", caps)
+		}
+		if cfg.RegisteredFiles && !caps.RegisteredFiles {
+			log.Printf("core: registered files requested but unavailable (caps %s); using raw fds", caps)
+		}
+		if cfg.SQPoll && !caps.SQPoll {
+			log.Printf("core: SQPOLL requested but unavailable (caps %s); submitting via io_uring_enter", caps)
+		}
+	} else {
+		// Pool/sim emulate fixed-buffer validation, so that code path is
+		// genuinely exercised; registered files and SQPOLL have no
+		// portable equivalent and stay off (documented accept-and-ignore).
+		a.fixed = cfg.FixedBuffers
+	}
+	if err := ds.DirectFallback(); err != nil {
+		log.Printf("core: O_DIRECT requested but fell back to buffered reads: %v", err)
+	}
+	return a
 }
 
 // New validates the configuration and binds the engine to a ring
@@ -34,10 +79,11 @@ func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, erro
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if backend == uring.BackendIOURing && !uring.Probe() {
+	if backend == uring.BackendIOURing && !uring.Probe().Ring {
 		return nil, fmt.Errorf("core: io_uring backend requested but unavailable; use %s", uring.BackendPool)
 	}
 	s := &Sampler{ds: ds, cfg: cfg, backend: backend}
+	s.active = resolveKnobs(&s.cfg, backend, ds)
 	if cfg.CacheBudgetBytes > 0 {
 		hot, err := cache.Build(ds, memctl.New(cfg.CacheBudgetBytes))
 		if err != nil {
@@ -83,18 +129,49 @@ type Worker struct {
 	// could not be drained. SampleBatch refuses such a worker.
 	broken bool
 
+	// Fast-path state, fixed at construction.
+	align int    // O_DIRECT transfer granularity (0 = buffered dataset)
+	depth int    // max in-flight requests (from Config.Depth; 0 = ring-bounded)
+	arena []byte // registered fixed-buffer arena (nil when fixed is off)
+
+	// bufFixed records that the current layer buffer is the arena
+	// prefix, so (buffered-path) reads into it may use PrepReadFixed.
+	bufFixed bool
+
 	// Workspaces, reused across batches (paper §3.1).
 	runs        []ioRun      // offset workspace: coalesced read requests
 	reqs        []ioReq      // in-flight request state (retry bookkeeping)
 	retryQ      []int        // request IDs awaiting resubmission
 	frontier    []uint32     // target workspace
 	gathered    []uint32     // neighbor accumulation for frontier building
-	buf         []byte       // neighbor workspace backing the reads
+	buf         []byte       // current layer buffer (arena prefix or heapBuf)
+	heapBuf     []byte       // heap backing for layers that skip the arena
 	idxs        []int        // fanout-index scratch
 	sel         []int32      // full-fetch mode: chosen in-list indices
 	nodePos     []int64      // full-fetch mode: per-node buffer position
 	cachedPicks []cachedPick // cache-served byte ranges awaiting copy
+
+	// O_DIRECT scratch slots: one aligned window buffer per in-flight
+	// request, recycled through free lists so memory is bounded by the
+	// pipeline depth, not the run count. Arena-backed chunks serve
+	// READ_FIXED; heap slots (allocated lazily, grown to the largest
+	// window they have carried) serve the rest.
+	dslots    []dslot
+	freeFixed []int
+	freeHeap  []int
 }
+
+// dslot is one O_DIRECT scratch slot.
+type dslot struct {
+	buf   []byte
+	fixed bool // arena-backed: reads through it may use PrepReadFixed
+}
+
+// directChunkBytes is the size of each arena-backed O_DIRECT scratch
+// chunk: covers a 4096-aligned window over any offset-mode run with
+// room to spare; bigger windows (full-fetch lists) fall back to heap
+// slots and plain reads.
+const directChunkBytes = 16 << 10
 
 // cachedPick is one cache-served byte range: src is cached edge-file
 // bytes, bufPos the layer-buffer position they land at. Copies are
@@ -115,40 +192,93 @@ type ioRun struct {
 
 // ioReq is the live state of run i while it is in flight: the byte
 // range still outstanding (which shrinks as short-read prefixes land)
-// and how many retries it has consumed.
+// and how many retries it has consumed. On the O_DIRECT path the
+// outstanding range is the aligned window (scratch != nil) and the
+// int* fields remember the interior the run actually wants; offsets
+// stay aligned across resubmission by rounding progress down.
 type ioReq struct {
 	off      int64 // next edge-file byte offset to read
-	bufPos   int64 // next write position in the layer buffer
+	bufPos   int64 // write position in the layer buffer (interior pos)
 	remain   int64 // bytes still outstanding
 	attempts int
+	fixed    bool // destination is registered: prep via PrepReadFixed
+
+	// O_DIRECT window state (scratch == nil on the buffered path).
+	scratch  []byte // aligned window destination (slot-backed)
+	slot     int    // scratch slot index (-1 when none held)
+	wStart   int64  // aligned window start offset
+	intOff   int64  // interior: first byte the run wants
+	intLen   int64  // interior length
+	devBytes int64  // device bytes delivered for this request so far
 }
 
-// NewWorker creates worker `id` with its own ring. Distinct ids sample
+// NewWorker creates worker `id` with its own ring (and, when the fixed
+// knob is active, its own registered arena). Distinct ids sample
 // independent streams; equal (Seed, id) pairs sample bit-identically.
 func (s *Sampler) NewWorker(id int) (*Worker, error) {
-	ring, err := uring.New(s.backend, s.ds.File(), s.cfg.RingSize)
+	w := &Worker{
+		s:     s,
+		id:    id,
+		rng:   sample.NewRNG(sample.Mix(s.cfg.Seed, uint64(id))),
+		align: s.ds.DirectAlign(),
+		depth: s.cfg.Depth,
+	}
+	opts := uring.Options{
+		Entries:      s.cfg.RingSize,
+		RegisterFile: s.active.regFiles,
+		SQPoll:       s.active.sqpoll,
+	}
+	if s.active.fixed {
+		arenaBytes := s.cfg.ArenaBytes
+		if arenaBytes == 0 {
+			arenaBytes = DefaultArenaBytes
+		}
+		// 4096-aligned so arena-backed slices satisfy any O_DIRECT
+		// granularity the dataset probe settled on.
+		w.arena = storage.AlignedSlice(int(arenaBytes), 4096)
+		opts.FixedBuffers = [][]byte{w.arena}
+	}
+	ring, err := uring.NewWith(s.backend, s.ds.File(), opts)
 	if err != nil {
 		return nil, err
 	}
 	if s.cfg.WrapRing != nil {
 		ring, err = s.cfg.WrapRing(ring, id)
 		if err != nil {
+			ring.Close()
 			return nil, fmt.Errorf("core: wrap worker %d ring: %w", id, err)
 		}
 	}
-	return &Worker{
-		s:    s,
-		id:   id,
-		ring: ring,
-		rng:  sample.NewRNG(sample.Mix(s.cfg.Seed, uint64(id))),
-	}, nil
+	w.ring = ring
+	if w.align > 0 && w.arena != nil {
+		// Pre-partition the arena into O_DIRECT scratch chunks; the
+		// arena then serves windows instead of layer buffers.
+		for off := 0; off+directChunkBytes <= len(w.arena); off += directChunkBytes {
+			w.dslots = append(w.dslots, dslot{buf: w.arena[off : off+directChunkBytes], fixed: true})
+		}
+	}
+	w.stats.ActiveFixed = s.active.fixed
+	w.stats.ActiveRegFiles = s.active.regFiles
+	w.stats.ActiveSQPoll = s.active.sqpoll
+	w.stats.ActiveODirect = w.align > 0
+	return w, nil
 }
 
 // Close releases the worker's ring.
 func (w *Worker) Close() error { return w.ring.Close() }
 
-// IOStats returns the worker's accumulated ring-level I/O counters.
-func (w *Worker) IOStats() IOStats { return w.stats }
+// IOStats returns the worker's accumulated ring-level I/O counters,
+// with the ring's own syscall counters folded in when the backend
+// reports them.
+func (w *Worker) IOStats() IOStats {
+	st := w.stats
+	if sr, ok := w.ring.(uring.SyscallReporter); ok {
+		sys := sr.Syscalls()
+		st.SubmitSyscalls = sys.Submits
+		st.WaitSyscalls = sys.Waits
+	}
+	return st
+}
 
 // Broken reports whether the worker's ring could not be proven empty
 // after a failed batch (see ErrWorkerBroken). Pools that lease workers
@@ -281,7 +411,7 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 		}
 	}
 	layer.Starts[len(w.frontier)] = total
-	w.buf = grow(w.buf, total*storage.EntryBytes)
+	w.sizeLayerBuf(total * storage.EntryBytes)
 	w.copyCached()
 	if err := w.issue(w.runs, w.buf); err != nil {
 		return err
@@ -342,7 +472,7 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 		listBytes += int64(deg) * storage.EntryBytes
 	}
 	layer.Starts[len(w.frontier)] = total
-	w.buf = grow(w.buf, listBytes)
+	w.sizeLayerBuf(listBytes)
 	w.copyCached()
 	if err := w.issue(w.runs, w.buf); err != nil {
 		return err
@@ -413,6 +543,15 @@ func (w *Worker) quarantine() {
 // (already-harvested completions are accounted before processing), and
 // w.ringFailed records whether the ring itself failed — the state
 // quarantine needs to clean up safely.
+//
+// Submission is deep by default: each pass stages every request the
+// ring (and Config.Depth, when set) will take — fresh runs and retries
+// alike — and publishes them with ONE Submit, so a full pipeline costs
+// one io_uring_enter for many coalesced runs. On the completion side,
+// while more work is waiting to be staged the pass reaps up to half the
+// in-flight window in one blocking Wait (reap-many) instead of waking
+// per completion; once everything is staged it degrades to min=1 so the
+// tail drains with maximum overlap.
 func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 	async := w.s.cfg.AsyncPipeline
 	maxRetries := w.s.cfg.MaxIORetries
@@ -421,29 +560,21 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 	}
 	w.reqs = w.reqs[:len(runs)]
 	w.retryQ = w.retryQ[:0]
+	w.resetSlots()
 	next, completed := 0, 0
 	for completed < len(runs) {
 		staged := 0
 		// Resubmissions first: their buffer ranges block layer decode.
-		for len(w.retryQ) > 0 {
-			id := w.retryQ[0]
-			rq := &w.reqs[id]
-			if !w.ring.PrepRead(uint64(id), rq.off, buf[rq.bufPos:rq.bufPos+rq.remain]) {
+		for len(w.retryQ) > 0 && w.withinDepth(staged) {
+			if !w.prepReq(w.retryQ[0], buf) {
 				break
 			}
 			w.retryQ = w.retryQ[1:]
 			staged++
 		}
 		if len(w.retryQ) == 0 {
-			for next < len(runs) {
-				r := &runs[next]
-				w.reqs[next] = ioReq{
-					off:    r.entryStart * storage.EntryBytes,
-					bufPos: r.bufPos,
-					remain: int64(r.entries) * storage.EntryBytes,
-				}
-				rq := &w.reqs[next]
-				if !w.ring.PrepRead(uint64(next), rq.off, buf[rq.bufPos:rq.bufPos+rq.remain]) {
+			for next < len(runs) && w.withinDepth(staged) {
+				if !w.stageNew(next, runs, buf) {
 					break
 				}
 				next++
@@ -462,6 +593,10 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 		min := 1
 		if !async {
 			min = w.inflight
+		} else if (len(w.retryQ) > 0 || next < len(runs)) && w.inflight > 1 {
+			// Saturated: more work wants in. Reap half the window in one
+			// blocking call so the refill batches are deep too.
+			min = w.inflight / 2
 		}
 		cqes, err := w.ring.Wait(min)
 		if err != nil {
@@ -490,9 +625,20 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 			case int64(c.Res) > rq.remain:
 				return fmt.Errorf("core: overlong read at offset %d: got %d bytes, want %d",
 					rq.off, c.Res, rq.remain)
+			case rq.scratch != nil:
+				done, err := w.completeDirect(int(c.ID), rq, int64(c.Res), buf, maxRetries)
+				if err != nil {
+					return err
+				}
+				if done {
+					completed++
+				}
 			case int64(c.Res) == rq.remain:
 				w.stats.Reads++
 				w.stats.BytesRead += int64(c.Res)
+				if rq.fixed {
+					w.stats.FixedReads++
+				}
 				completed++
 			default:
 				// Short read: the prefix is valid — advance the request
@@ -521,6 +667,168 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 		}
 	}
 	return nil
+}
+
+// withinDepth reports whether one more request may be staged under the
+// configured in-flight cap.
+func (w *Worker) withinDepth(staged int) bool {
+	return w.depth <= 0 || w.inflight+staged < w.depth
+}
+
+// stageNew initializes request id from its run and stages it. On the
+// O_DIRECT path the request reads the aligned window around the run
+// into a scratch slot; the interior is copied out at completion. The
+// slot is released again if the ring refuses the prep, so re-staging
+// the same id later starts clean.
+func (w *Worker) stageNew(id int, runs []ioRun, buf []byte) bool {
+	r := &runs[id]
+	intOff := r.entryStart * storage.EntryBytes
+	intLen := int64(r.entries) * storage.EntryBytes
+	rq := &w.reqs[id]
+	if w.align == 0 {
+		*rq = ioReq{off: intOff, bufPos: r.bufPos, remain: intLen, fixed: w.bufFixed, slot: -1}
+	} else {
+		lo := storage.AlignDown(intOff, w.align)
+		win := storage.AlignUp(intOff+intLen, w.align) - lo
+		slot, scratch, fixed := w.getSlot(int(win))
+		*rq = ioReq{
+			off: lo, wStart: lo, remain: win,
+			bufPos: r.bufPos, intOff: intOff, intLen: intLen,
+			scratch: scratch, slot: slot, fixed: fixed,
+		}
+	}
+	if !w.prepReq(id, buf) {
+		if rq.slot >= 0 {
+			w.putSlot(rq.slot)
+			rq.slot = -1
+		}
+		return false
+	}
+	return true
+}
+
+// prepReq stages request id's outstanding byte range into the ring,
+// routing the destination (layer buffer or aligned scratch window) and
+// the prep flavor (fixed or plain) from the request state.
+func (w *Worker) prepReq(id int, buf []byte) bool {
+	rq := &w.reqs[id]
+	var dst []byte
+	if rq.scratch != nil {
+		pos := rq.off - rq.wStart
+		dst = rq.scratch[pos : pos+rq.remain]
+	} else {
+		dst = buf[rq.bufPos : rq.bufPos+rq.remain]
+	}
+	if rq.fixed {
+		return w.ring.PrepReadFixed(uint64(id), rq.off, dst, 0)
+	}
+	return w.ring.PrepRead(uint64(id), rq.off, dst)
+}
+
+// completeDirect handles a non-negative completion of an O_DIRECT
+// window request. The request is done as soon as the delivered bytes
+// cover the interior — which an EOF-straddling tail window reaches with
+// a short count, since the window's aligned end may lie past the file
+// end while the interior never does. A short count that leaves interior
+// bytes uncovered resubmits from the progress rounded DOWN to the
+// alignment (re-reading the partial block) so the resumed offset stays
+// O_DIRECT-legal.
+func (w *Worker) completeDirect(id int, rq *ioReq, got int64, buf []byte, maxRetries int) (bool, error) {
+	rq.devBytes += got
+	covered := rq.off + got // absolute file position delivered through
+	if covered >= rq.intOff+rq.intLen {
+		copy(buf[rq.bufPos:rq.bufPos+rq.intLen], rq.scratch[rq.intOff-rq.wStart:])
+		w.stats.Reads++
+		w.stats.BytesRead += rq.intLen
+		w.stats.AlignSlackBytes += rq.devBytes - rq.intLen
+		if rq.fixed {
+			w.stats.FixedReads++
+		}
+		w.putSlot(rq.slot)
+		rq.slot = -1
+		rq.scratch = nil
+		return true, nil
+	}
+	// Short of the interior: resubmit the rest of the window from an
+	// aligned resume point.
+	w.stats.ShortReads++
+	if rq.attempts >= maxRetries {
+		return false, &IOError{Offset: covered, Bytes: rq.intOff + rq.intLen - covered, Attempts: rq.attempts, ShortRead: true}
+	}
+	rq.attempts++
+	w.stats.Retries++
+	wEnd := rq.wStart + int64(len(rq.scratch))
+	rq.off = storage.AlignDown(covered, w.align)
+	rq.remain = wEnd - rq.off
+	w.retryQ = append(w.retryQ, id)
+	return false, nil
+}
+
+// sizeLayerBuf points w.buf at a layer buffer of n bytes: the
+// registered arena when the fixed knob is on, the buffer fits, and the
+// dataset is buffered (O_DIRECT layers read through scratch windows
+// instead, and the arena serves those); otherwise a heap workspace,
+// with plain reads.
+func (w *Worker) sizeLayerBuf(n int64) {
+	if w.arena != nil && w.align == 0 && n <= int64(len(w.arena)) {
+		w.buf = w.arena[:n]
+		w.bufFixed = true
+		return
+	}
+	w.heapBuf = grow(w.heapBuf, n)
+	w.buf = w.heapBuf
+	w.bufFixed = false
+}
+
+// resetSlots returns every O_DIRECT scratch slot to its free list.
+// Called at the top of each issue pass: any slot still marked held at
+// that point belonged to a failed batch whose in-flight requests were
+// quarantined, so reclaiming wholesale is safe.
+func (w *Worker) resetSlots() {
+	if w.align == 0 {
+		return
+	}
+	w.freeFixed = w.freeFixed[:0]
+	w.freeHeap = w.freeHeap[:0]
+	for i := range w.dslots {
+		if w.dslots[i].fixed {
+			w.freeFixed = append(w.freeFixed, i)
+		} else {
+			w.freeHeap = append(w.freeHeap, i)
+		}
+	}
+}
+
+// getSlot leases a scratch slot able to hold a win-byte aligned window,
+// preferring arena-backed (fixed) chunks. Heap slots grow to the
+// largest window they have carried and are reused; total slot count is
+// bounded by the in-flight cap, never the run count.
+func (w *Worker) getSlot(win int) (slot int, scratch []byte, fixed bool) {
+	if win <= directChunkBytes && len(w.freeFixed) > 0 {
+		slot = w.freeFixed[len(w.freeFixed)-1]
+		w.freeFixed = w.freeFixed[:len(w.freeFixed)-1]
+		return slot, w.dslots[slot].buf[:win], true
+	}
+	if len(w.freeHeap) > 0 {
+		slot = w.freeHeap[len(w.freeHeap)-1]
+		w.freeHeap = w.freeHeap[:len(w.freeHeap)-1]
+		if len(w.dslots[slot].buf) < win {
+			w.dslots[slot].buf = storage.AlignedSlice(win, w.align)
+		}
+		return slot, w.dslots[slot].buf[:win], false
+	}
+	slot = len(w.dslots)
+	w.dslots = append(w.dslots, dslot{buf: storage.AlignedSlice(win, w.align)})
+	return slot, w.dslots[slot].buf[:win], false
+}
+
+// putSlot returns a leased slot to its free list.
+func (w *Worker) putSlot(slot int) {
+	if w.dslots[slot].fixed {
+		w.freeFixed = append(w.freeFixed, slot)
+	} else {
+		w.freeHeap = append(w.freeHeap, slot)
+	}
 }
 
 // copyCached lands every cache-served byte range in the (now sized)

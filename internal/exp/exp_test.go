@@ -222,7 +222,7 @@ func TestFaultSweepFull(t *testing.T) {
 	o := Options{Targets: 512, BatchSize: 128}
 	rates := []float64{0.01, 0.05, 0.1, 0.2}
 	backends := []uring.Backend{uring.BackendPool, uring.BackendSim}
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		backends = append(backends, uring.BackendIOURing)
 	}
 	for _, be := range backends {

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"testing"
+
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// TestUringMicro: the raw-read microbenchmark on the pool backend with
+// the quick combo pair. Every point must complete the requested read
+// count, report positive throughput, and charge exactly one submit
+// syscall per read on the pool (which preads at submit time).
+func TestUringMicro(t *testing.T) {
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := DefaultUringMicroCombos(true)
+	points, err := UringMicro(p.Dir, uring.BackendPool, combos, 512, 2048, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(combos) {
+		t.Fatalf("got %d points, want %d", len(points), len(combos))
+	}
+	for i, pt := range points {
+		t.Logf("%-24s %12.0f reads/s  %8.2f syscalls/read  active=%s",
+			pt.Name, pt.ReadsPerSec, pt.SyscallsPerRead, pt.Active)
+		if pt.Reads != 2048 || pt.ReadBytes != 512 || pt.ReadsPerSec <= 0 {
+			t.Fatalf("%s: degenerate point %+v", pt.Name, pt)
+		}
+		if pt.Depth != 256 {
+			t.Fatalf("%s: depth %d, want 256", pt.Name, pt.Depth)
+		}
+		// Pool submits one pread per staged read, so the syscall ratio
+		// is exactly 1 regardless of depth.
+		if pt.SyscallsPerRead != 1 {
+			t.Fatalf("%s: %f syscalls/read on pool, want 1", pt.Name, pt.SyscallsPerRead)
+		}
+		wantFixed := combos[i].Fixed
+		if containsKnob(pt.Active, "fixed") != wantFixed {
+			t.Fatalf("%s: active %q, fixed requested %v", pt.Name, pt.Active, wantFixed)
+		}
+		for _, banned := range []string{"regfiles", "sqpoll"} {
+			if containsKnob(pt.Active, banned) {
+				t.Fatalf("%s: pool backend claims active %q", pt.Name, pt.Active)
+			}
+		}
+	}
+	if points[0].EntriesPerSec != points[0].ReadsPerSec*float64(512/storage.EntryBytes) {
+		t.Fatalf("entries/s %f inconsistent with reads/s %f", points[0].EntriesPerSec, points[0].ReadsPerSec)
+	}
+}
+
+func TestUringMicroGuards(t *testing.T) {
+	p, err := Prepare(benchRoot, "ogbn-papers", 20_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UringMicro(p.Dir, uring.BackendPool, DefaultUringMicroCombos(true), 0, 128, 1, 7); err == nil {
+		t.Fatal("zero read size accepted")
+	}
+	if _, err := UringMicro(p.Dir, uring.BackendPool, DefaultUringMicroCombos(true), 1<<30, 128, 1, 7); err == nil {
+		t.Fatal("read size larger than the edge file accepted")
+	}
+	if len(DefaultUringMicroCombos(false)) < 6 {
+		t.Fatalf("full micro ladder too short: %v", DefaultUringMicroCombos(false))
+	}
+}

@@ -117,7 +117,7 @@ func (c *Config) fillDefaults() {
 		c.MaxTimeout = 60 * time.Second
 	}
 	if c.Backend == "" {
-		if uring.Probe() {
+		if uring.Probe().Ring {
 			c.Backend = uring.BackendIOURing
 		} else {
 			c.Backend = uring.BackendPool

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -22,6 +23,15 @@ type Dataset struct {
 	offsets []int64
 	f       *os.File
 
+	// directAlign is the O_DIRECT transfer granularity (offset, length,
+	// and memory must all be multiples of it); 0 means the file is open
+	// buffered and reads have no alignment constraint.
+	directAlign int
+	// directErr records why a requested O_DIRECT open fell back to
+	// buffered, so callers can log the downgrade instead of silently
+	// benchmarking the page cache.
+	directErr error
+
 	edgesOnce sync.Once
 	edges     []uint32
 	edgesErr  error
@@ -30,10 +40,26 @@ type Dataset struct {
 // Manifest re-exported to avoid forcing every caller to import graph.
 type Manifest = manifestAlias
 
-// Open validates and opens the dataset in dir. Validation is strict —
+// OpenOptions configures how the edge file is opened.
+type OpenOptions struct {
+	// Direct opens the edge file with O_DIRECT, bypassing the page cache
+	// so device reads are measured (and counted) honestly. The required
+	// alignment is probed empirically (512 then 4096); if O_DIRECT or
+	// the probe fails, Open falls back to a buffered handle and records
+	// the reason in DirectFallback.
+	Direct bool
+}
+
+// Open validates and opens the dataset in dir with a buffered edge-file
+// handle. Shorthand for OpenWith(dir, OpenOptions{}).
+func Open(dir string) (*Dataset, error) {
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenWith validates and opens the dataset in dir. Validation is strict —
 // a truncated or inconsistent directory is rejected here rather than
 // surfacing as short reads mid-epoch.
-func Open(dir string) (*Dataset, error) {
+func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 	man, err := loadManifest(filepath.Join(dir, ManifestFile))
 	if err != nil {
 		return nil, err
@@ -66,11 +92,22 @@ func Open(dir string) (*Dataset, error) {
 			return nil, fmt.Errorf("storage: offset index %s not monotone at node %d", offPath, v)
 		}
 	}
+	d := &Dataset{dir: dir, man: man, offsets: offsets}
+	if opts.Direct {
+		f, align, derr := openDirect(edgePath, fi.Size())
+		if derr == nil {
+			d.f = f
+			d.directAlign = align
+			return d, nil
+		}
+		d.directErr = derr
+	}
 	f, err := os.Open(edgePath)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open edge file: %w", err)
 	}
-	return &Dataset{dir: dir, man: man, offsets: offsets, f: f}, nil
+	d.f = f
+	return d, nil
 }
 
 func readOffsets(path string, numNodes int64) ([]int64, error) {
@@ -113,13 +150,50 @@ func (d *Dataset) Degree(v uint32) int64 {
 }
 
 // File exposes the edge file for ring backends that read it directly.
+// When DirectAlign() > 0 the handle is O_DIRECT: ring reads through it
+// must use aligned offsets, lengths, and memory.
 func (d *Dataset) File() *os.File { return d.f }
+
+// DirectAlign returns the O_DIRECT transfer granularity of the edge
+// file handle, or 0 when the handle is buffered and reads are
+// unconstrained.
+func (d *Dataset) DirectAlign() int { return d.directAlign }
+
+// DirectFallback returns why a requested O_DIRECT open fell back to a
+// buffered handle (nil when O_DIRECT is active or was never requested).
+func (d *Dataset) DirectFallback() error { return d.directErr }
 
 // ReadAt reads raw edge-file bytes at the given byte offset. It is the
 // access path for consumers that want file bytes without a ring — the
 // hot-neighbor cache builder reads each pinned node's list through it.
+// On an O_DIRECT handle, arbitrary offsets and lengths are served
+// through an aligned bounce buffer, so callers stay oblivious to the
+// alignment constraint.
 func (d *Dataset) ReadAt(p []byte, off int64) (int, error) {
-	return d.f.ReadAt(p, off)
+	if d.directAlign == 0 || len(p) == 0 {
+		return d.f.ReadAt(p, off)
+	}
+	lo := AlignDown(off, d.directAlign)
+	hi := AlignUp(off+int64(len(p)), d.directAlign)
+	buf := AlignedSlice(int(hi-lo), d.directAlign)
+	n, err := d.f.ReadAt(buf, lo)
+	got := int64(n) - (off - lo)
+	if got < 0 {
+		got = 0
+	}
+	if got > int64(len(p)) {
+		got = int64(len(p))
+	}
+	copy(p[:got], buf[off-lo:])
+	if int(got) == len(p) {
+		// The aligned over-read may have hit EOF past the requested
+		// range; the caller's read is still complete.
+		return len(p), nil
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	return int(got), err
 }
 
 // LoadEdges reads the whole edge file into memory (cached after the

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// O_DIRECT handling is Linux-only; elsewhere OpenWith falls back to
+// buffered reads and records the reason.
+func openDirect(path string, size int64) (*os.File, int, error) {
+	return nil, 0, errors.New("storage: O_DIRECT is linux-only")
+}

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"io"
+	"testing"
+	"unsafe"
+)
+
+func TestAlignHelpers(t *testing.T) {
+	cases := []struct {
+		v        int64
+		align    int
+		down, up int64
+	}{
+		{0, 512, 0, 0},
+		{1, 512, 0, 512},
+		{511, 512, 0, 512},
+		{512, 512, 512, 512},
+		{513, 512, 512, 1024},
+		{120000, 4096, 118784, 122880},
+	}
+	for _, c := range cases {
+		if got := AlignDown(c.v, c.align); got != c.down {
+			t.Fatalf("AlignDown(%d, %d) = %d, want %d", c.v, c.align, got, c.down)
+		}
+		if got := AlignUp(c.v, c.align); got != c.up {
+			t.Fatalf("AlignUp(%d, %d) = %d, want %d", c.v, c.align, got, c.up)
+		}
+	}
+	for _, align := range []int{512, 4096} {
+		s := AlignedSlice(3*align, align)
+		if len(s) != 3*align {
+			t.Fatalf("AlignedSlice length %d, want %d", len(s), 3*align)
+		}
+		if addr := uintptr(unsafe.Pointer(&s[0])); addr%uintptr(align) != 0 {
+			t.Fatalf("AlignedSlice(%d) starts at %#x, not %d-aligned", align, addr, align)
+		}
+	}
+}
+
+// TestOpenWithDirect: an O_DIRECT open either activates (positive probed
+// alignment, no fallback reason) or falls back to buffered with the
+// reason recorded — never both, never neither.
+func TestOpenWithDirect(t *testing.T) {
+	dir := t.TempDir()
+	writeTestDataset(t, dir)
+	ds, err := OpenWith(dir, OpenOptions{Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.DirectAlign() > 0 {
+		if ds.DirectFallback() != nil {
+			t.Fatalf("O_DIRECT active (align %d) but fallback recorded: %v",
+				ds.DirectAlign(), ds.DirectFallback())
+		}
+		if a := ds.DirectAlign(); a != 512 && a != 4096 {
+			t.Fatalf("probed alignment %d, want 512 or 4096", a)
+		}
+	} else if ds.DirectFallback() == nil {
+		t.Fatal("buffered fallback with no recorded reason")
+	} else {
+		t.Logf("O_DIRECT unavailable here: %v", ds.DirectFallback())
+	}
+	// A plain open never claims O_DIRECT.
+	plain, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.DirectAlign() != 0 || plain.DirectFallback() != nil {
+		t.Fatalf("buffered open reports direct state: align %d, fallback %v",
+			plain.DirectAlign(), plain.DirectFallback())
+	}
+}
+
+// TestDirectReadAtBounce: Dataset.ReadAt over an O_DIRECT handle must be
+// byte-identical to the buffered handle at arbitrary (unaligned)
+// offsets and lengths, including reads whose aligned window straddles
+// EOF — the 24-byte test dataset is smaller than any O_DIRECT block, so
+// every single read exercises the EOF-straddling tail path.
+func TestDirectReadAtBounce(t *testing.T) {
+	dir := t.TempDir()
+	writeTestDataset(t, dir)
+	ds, err := OpenWith(dir, OpenOptions{Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.DirectAlign() == 0 {
+		t.Skipf("O_DIRECT unavailable: %v", ds.DirectFallback())
+	}
+	ref, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	size := ds.NumEdges() * EntryBytes // 24 bytes
+	for off := int64(0); off <= size+4; off++ {
+		for _, n := range []int{1, 3, 4, 8, int(size), int(size) + 8} {
+			want := make([]byte, n)
+			wn, werr := ref.ReadAt(want, off)
+			got := make([]byte, n)
+			gn, gerr := ds.ReadAt(got, off)
+			if gn != wn {
+				t.Fatalf("ReadAt(%d bytes @ %d): direct read %d, buffered %d", n, off, gn, wn)
+			}
+			// Errors must agree on presence; both report io.EOF for
+			// truncated reads (a full-count read may carry nil or io.EOF
+			// on either handle).
+			if (gerr == nil) != (werr == nil) && gn < n {
+				t.Fatalf("ReadAt(%d bytes @ %d): direct err %v, buffered %v", n, off, gerr, werr)
+			}
+			if gn < n && gerr != io.EOF {
+				t.Fatalf("ReadAt(%d bytes @ %d): short direct read err %v, want io.EOF", n, off, gerr)
+			}
+			for i := 0; i < gn; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("ReadAt(%d bytes @ %d): byte %d is %#x, want %#x", n, off, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Zero-length reads stay trivially fine on the direct handle.
+	if n, err := ds.ReadAt(nil, 13); n != 0 || err != nil {
+		t.Fatalf("zero-length direct read: (%d, %v)", n, err)
+	}
+}

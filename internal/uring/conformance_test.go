@@ -160,7 +160,7 @@ func conformanceBackends(t *testing.T) []struct {
 		{"fault-pool-mild", wrap(BackendPool, mild)},
 		{"fault-pool-nasty", wrap(BackendPool, nasty)},
 	}
-	if Probe() {
+	if Probe().Ring {
 		list = append(list,
 			struct {
 				name string
@@ -220,7 +220,7 @@ func TestRingConformanceEOF(t *testing.T) {
 	f := testFile(t, n)
 	raw, _ := os.ReadFile(f.Name())
 	backends := []Backend{BackendSim, BackendPool}
-	if Probe() {
+	if Probe().Ring {
 		backends = append(backends, BackendIOURing)
 	}
 	for _, be := range backends {

@@ -9,7 +9,7 @@ import (
 
 func TestFaultPlanValidation(t *testing.T) {
 	f := testFile(t, 8)
-	inner := newSim(f, 8)
+	inner := newSim(f, Options{Entries: 8})
 	bad := []FaultPlan{
 		{ShortReadRate: -0.1},
 		{TransientRate: 1.5},
@@ -37,7 +37,7 @@ func TestFaultPlanValidation(t *testing.T) {
 func TestFaultRingDeterministic(t *testing.T) {
 	run := func() FaultStats {
 		f := testFile(t, 128)
-		inner := newSim(f, 8)
+		inner := newSim(f, Options{Entries: 8})
 		r, err := NewFault(inner, FaultPlan{
 			Seed: 7, ShortReadRate: 0.2, TransientRate: 0.2, RejectRate: 0.2, DelayRate: 0.2,
 		})
@@ -63,7 +63,7 @@ func TestFaultRingDeterministic(t *testing.T) {
 func TestFaultRingInjectsEachKind(t *testing.T) {
 	drive := func(plan FaultPlan) FaultStats {
 		f := testFile(t, 128)
-		r, err := NewFault(newSim(f, 8), plan)
+		r, err := NewFault(newSim(f, Options{Entries: 8}), plan)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestFaultRingInjectsEachKind(t *testing.T) {
 // consumer (no silent retry, no corruption).
 func TestFaultRingHardError(t *testing.T) {
 	f := testFile(t, 16)
-	r, err := NewFault(newSim(f, 8), FaultPlan{Seed: 1, HardErrRate: 1})
+	r, err := NewFault(newSim(f, Options{Entries: 8}), FaultPlan{Seed: 1, HardErrRate: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

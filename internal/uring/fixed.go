@@ -1,0 +1,19 @@
+package uring
+
+import "syscall"
+
+// fixedCheck emulates the kernel's fixed-buffer validation for the
+// pool and sim backends: 0 means the reference is valid, otherwise the
+// negated errno the request must complete with. Matches io_uring's own
+// convention — an unregistered buffer index is -EINVAL, a destination
+// outside the registered arena's bounds is -EFAULT — so consumer retry
+// and error paths behave identically across backends.
+func fixedCheck(arenas [][]byte, buf []byte, bufIndex int) int32 {
+	if bufIndex < 0 || bufIndex >= len(arenas) {
+		return -int32(syscall.EINVAL)
+	}
+	if !sliceWithin(arenas[bufIndex], buf) {
+		return -int32(syscall.EFAULT)
+	}
+	return 0
+}

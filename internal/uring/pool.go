@@ -3,6 +3,7 @@ package uring
 import (
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // poolWorkers is the number of pread goroutines per pool ring. Each
@@ -14,16 +15,28 @@ const poolWorkers = 16
 // pread(2) (via ReadAt). Channel capacities cover the maximum
 // in-flight count, so workers never block on the completion side and
 // Submit never blocks on the work side.
+//
+// Fixed buffers are emulated: arenas from Options.FixedBuffers are
+// retained only to validate PrepReadFixed references (index in range,
+// destination inside the arena); a valid fixed read then proceeds
+// exactly like a plain read, and an invalid one completes with
+// -EINVAL/-EFAULT after Submit, matching the kernel. RegisterFile and
+// SQPoll are accepted and ignored — the pool holds the *os.File
+// directly and has no submission syscall to elide.
 type poolRing struct {
 	f       *os.File
 	entries int
 	cqCap   int
+	arenas  [][]byte
 
 	staged   []poolReq
+	synth    []CQE // invalid fixed-read completions awaiting Submit
 	work     chan poolReq
 	results  chan CQE
 	inflight int
 	cq       []CQE
+
+	preads atomic.Int64
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -35,17 +48,18 @@ type poolReq struct {
 	buf []byte
 }
 
-func newPool(f *os.File, entries int) *poolRing {
+func newPool(f *os.File, o Options) *poolRing {
 	r := &poolRing{
 		f:       f,
-		entries: entries,
-		cqCap:   2 * entries, // matches io_uring's default CQ = 2x SQ
+		entries: o.Entries,
+		cqCap:   2 * o.Entries, // matches io_uring's default CQ = 2x SQ
+		arenas:  o.FixedBuffers,
 	}
 	r.work = make(chan poolReq, r.cqCap)
 	r.results = make(chan CQE, r.cqCap)
 	workers := poolWorkers
-	if workers > entries {
-		workers = entries
+	if workers > r.entries {
+		workers = r.entries
 	}
 	r.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -58,25 +72,43 @@ func (r *poolRing) worker() {
 	defer r.wg.Done()
 	for rq := range r.work {
 		n, err := r.f.ReadAt(rq.buf, rq.off)
+		r.preads.Add(1)
 		r.results <- CQE{ID: rq.id, Res: errnoResult(n, err)}
 	}
 }
 
 func (r *poolRing) PrepRead(id uint64, off int64, buf []byte) bool {
-	if len(r.staged) >= r.entries || r.inflight+len(r.staged) >= r.cqCap {
+	if len(r.staged)+len(r.synth) >= r.entries ||
+		r.inflight+len(r.staged)+len(r.synth) >= r.cqCap {
 		return false
 	}
 	r.staged = append(r.staged, poolReq{id: id, off: off, buf: buf})
 	return true
 }
 
+func (r *poolRing) PrepReadFixed(id uint64, off int64, buf []byte, bufIndex int) bool {
+	if res := fixedCheck(r.arenas, buf, bufIndex); res != 0 {
+		if len(r.staged)+len(r.synth) >= r.entries ||
+			r.inflight+len(r.staged)+len(r.synth) >= r.cqCap {
+			return false
+		}
+		r.synth = append(r.synth, CQE{ID: id, Res: res})
+		return true
+	}
+	return r.PrepRead(id, off, buf)
+}
+
 func (r *poolRing) Submit() (int, error) {
-	n := len(r.staged)
+	n := len(r.staged) + len(r.synth)
 	for _, rq := range r.staged {
 		r.work <- rq
 	}
+	for _, c := range r.synth {
+		r.results <- c
+	}
 	r.inflight += n
 	r.staged = r.staged[:0]
+	r.synth = r.synth[:0]
 	return n, nil
 }
 
@@ -102,6 +134,12 @@ func (r *poolRing) Wait(min int) ([]CQE, error) {
 }
 
 func (r *poolRing) Entries() int { return r.entries }
+
+// Syscalls reports one submission-side syscall per pread issued — the
+// pool's honest kernel-crossing count (completions are user-space).
+func (r *poolRing) Syscalls() Syscalls {
+	return Syscalls{Submits: r.preads.Load()}
+}
 
 func (r *poolRing) Close() error {
 	r.closeOnce.Do(func() {

@@ -5,32 +5,53 @@ package uring
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
 
-// Raw io_uring binding: io_uring_setup + io_uring_enter syscalls and
-// mmap'd SQ/CQ rings, written directly against the kernel ABI (no cgo,
-// no liburing). Only IORING_OP_READ is wired up — it is the one
-// operation offset-based sampling needs. SQPOLL and registered files
-// are config hooks for later; the plain path already gives the paper's
-// one-syscall-per-group submission.
+// Raw io_uring binding: io_uring_setup / io_uring_enter /
+// io_uring_register syscalls and mmap'd SQ/CQ rings, written directly
+// against the kernel ABI (no cgo, no liburing). Two read opcodes are
+// wired up — IORING_OP_READ for the plain path and IORING_OP_READ_FIXED
+// for reads into registered arenas — plus the three setup-time fast-path
+// knobs the paper's hot loop wants: IORING_REGISTER_BUFFERS (skip
+// per-read page pinning), IORING_REGISTER_FILES + IOSQE_FIXED_FILE
+// (skip per-SQE fd lookup), and IORING_SETUP_SQPOLL (kernel-side SQ
+// consumption; steady-state submission is a shared-memory store).
 
 const (
-	sysIOURingSetup = 425
-	sysIOURingEnter = 426
+	sysIOURingSetup    = 425
+	sysIOURingEnter    = 426
+	sysIOURingRegister = 427
 
 	offSQRing = 0x0
 	offCQRing = 0x8000000
 	offSQEs   = 0x10000000
 
-	enterGetEvents = 1 << 0
+	setupSQPoll = 1 << 1 // IORING_SETUP_SQPOLL
 
-	opRead = 22 // IORING_OP_READ, kernel 5.6+
+	sqNeedWakeup = 1 << 0 // IORING_SQ_NEED_WAKEUP, in the SQ ring flags word
+
+	enterGetEvents = 1 << 0 // IORING_ENTER_GETEVENTS
+	enterSQWakeup  = 1 << 1 // IORING_ENTER_SQ_WAKEUP
+
+	registerBuffers = 0 // IORING_REGISTER_BUFFERS
+	registerFiles   = 2 // IORING_REGISTER_FILES
+
+	opReadFixed = 4  // IORING_OP_READ_FIXED, kernel 5.1+
+	opRead      = 22 // IORING_OP_READ, kernel 5.6+
+
+	iosqeFixedFile = 1 << 0 // IOSQE_FIXED_FILE
 
 	sqeSize = 64
 	cqeSize = 16
+
+	// defaultSQPollIdleMS is the SQPOLL thread spin-down timeout when
+	// Options leaves it zero: long enough to span a batch's submit
+	// cadence, short enough not to burn a core across idle epochs.
+	defaultSQPollIdleMS = 100
 )
 
 // Kernel ABI structs. Sizes are load-bearing: io_uring_setup writes
@@ -79,6 +100,7 @@ type iouRing struct {
 
 	sqHead    *uint32
 	sqTail    *uint32
+	sqFlags   *uint32
 	sqMask    uint32
 	sqEntries uint32
 	sqArray   []uint32
@@ -93,10 +115,18 @@ type iouRing struct {
 	staged    uint32
 	inflight  uint32
 
+	sqpoll    bool
+	fixedFile bool // file registered at fixed-file index 0
+
+	// fixed pins the registered arenas for the ring's lifetime: the
+	// kernel holds their pages pinned, so the GC must not reclaim them.
+	fixed [][]byte
 	// bufs pins the destination buffers of in-flight reads so the GC
 	// keeps them alive while only the kernel holds their address.
 	bufs map[uint64][]byte
 	cq   []CQE
+
+	sys Syscalls
 }
 
 func setupRing(entries uint32, p *uringParams) (int, error) {
@@ -121,13 +151,32 @@ func enter(fd int, toSubmit, minComplete, flags uint32) (int, error) {
 	}
 }
 
-func newRawRing(entries int) (*iouRing, error) {
+func register(fd int, opcode uint32, arg unsafe.Pointer, nrArgs uint32) error {
+	_, _, errno := syscall.Syscall6(sysIOURingRegister, uintptr(fd),
+		uintptr(opcode), uintptr(arg), uintptr(nrArgs), 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// newRawRing sets up a kernel ring per Options, maps the three rings,
+// and performs the requested registrations. f may be nil only when
+// RegisterFile is false (the capability probe).
+func newRawRing(f *os.File, o Options) (*iouRing, error) {
 	var p uringParams
-	fd, err := setupRing(uint32(entries), &p)
+	if o.SQPoll {
+		p.flags |= setupSQPoll
+		p.sqThreadIdle = o.SQPollIdleMS
+		if p.sqThreadIdle == 0 {
+			p.sqThreadIdle = defaultSQPollIdleMS
+		}
+	}
+	fd, err := setupRing(uint32(o.Entries), &p)
 	if err != nil {
 		return nil, err
 	}
-	r := &iouRing{fd: fd, bufs: make(map[uint64][]byte)}
+	r := &iouRing{fd: fd, sqpoll: o.SQPoll, bufs: make(map[uint64][]byte)}
 	fail := func(err error) (*iouRing, error) {
 		r.Close()
 		return nil, err
@@ -154,6 +203,7 @@ func newRawRing(entries int) (*iouRing, error) {
 	sq := unsafe.Pointer(&r.sqRing[0])
 	r.sqHead = (*uint32)(unsafe.Add(sq, p.sqOff.head))
 	r.sqTail = (*uint32)(unsafe.Add(sq, p.sqOff.tail))
+	r.sqFlags = (*uint32)(unsafe.Add(sq, p.sqOff.flags))
 	r.sqMask = *(*uint32)(unsafe.Add(sq, p.sqOff.ringMask))
 	r.sqEntries = p.sqEntries
 	r.sqArray = unsafe.Slice((*uint32)(unsafe.Add(sq, p.sqOff.array)), p.sqEntries)
@@ -166,14 +216,51 @@ func newRawRing(entries int) (*iouRing, error) {
 	r.cqesBase = unsafe.Add(cq, p.cqOff.cqes)
 
 	r.localTail = atomic.LoadUint32(r.sqTail)
+
+	if len(o.FixedBuffers) > 0 {
+		iovs := make([]syscall.Iovec, len(o.FixedBuffers))
+		for i, b := range o.FixedBuffers {
+			if len(b) == 0 {
+				return fail(fmt.Errorf("uring: fixed buffer %d is empty", i))
+			}
+			iovs[i].Base = &b[0]
+			iovs[i].SetLen(len(b))
+		}
+		if err := register(fd, registerBuffers, unsafe.Pointer(&iovs[0]), uint32(len(iovs))); err != nil {
+			return fail(fmt.Errorf("uring: IORING_REGISTER_BUFFERS: %w", err))
+		}
+		r.fixed = o.FixedBuffers
+		runtime.KeepAlive(iovs)
+	}
+	if o.RegisterFile {
+		fds := [1]int32{int32(f.Fd())}
+		if err := register(fd, registerFiles, unsafe.Pointer(&fds[0]), 1); err != nil {
+			return fail(fmt.Errorf("uring: IORING_REGISTER_FILES: %w", err))
+		}
+		r.fixedFile = true
+	}
 	return r, nil
 }
 
-func newIOURing(f *os.File, entries int) (Ring, error) {
-	if !Probe() {
+// newIOURing opens a real ring over f. Every requested knob must be
+// granted: construction fails (rather than silently downgrading) when
+// the kernel refuses one — callers gate on Probe() so a fallback is an
+// explicit, logged decision at the Config layer.
+func newIOURing(f *os.File, o Options) (Ring, error) {
+	caps := Probe()
+	if !caps.Ring {
 		return nil, fmt.Errorf("uring: io_uring unavailable in this environment (use %s)", BackendPool)
 	}
-	r, err := newRawRing(entries)
+	if len(o.FixedBuffers) > 0 && !caps.ReadFixed {
+		return nil, fmt.Errorf("uring: fixed buffers requested but IORING_REGISTER_BUFFERS unavailable (caps %s)", caps)
+	}
+	if o.RegisterFile && !caps.RegisteredFiles {
+		return nil, fmt.Errorf("uring: registered files requested but IORING_REGISTER_FILES unavailable (caps %s)", caps)
+	}
+	if o.SQPoll && !caps.SQPoll {
+		return nil, fmt.Errorf("uring: SQPOLL requested but IORING_SETUP_SQPOLL unavailable (caps %s)", caps)
+	}
+	r, err := newRawRing(f, o)
 	if err != nil {
 		return nil, err
 	}
@@ -181,18 +268,47 @@ func newIOURing(f *os.File, entries int) (Ring, error) {
 	return r, nil
 }
 
-// probe verifies the full real path: setup, all three mmaps, teardown.
-// Returning any error means callers fall back to the pool backend.
-func probe() bool {
-	r, err := newRawRing(8)
+// probe verifies the real path feature by feature: base setup + all
+// three mmaps, buffer registration, file registration (against a pipe
+// fd, so no filesystem contact), and an SQPOLL ring. Each failure just
+// clears that capability — callers downgrade, never error.
+func probe() Caps {
+	var c Caps
+	r, err := newRawRing(nil, Options{Entries: 8})
 	if err != nil {
-		return false
+		return c
+	}
+	c.Ring = true
+
+	arena := make([]byte, 4096)
+	var iov syscall.Iovec
+	iov.Base = &arena[0]
+	iov.SetLen(len(arena))
+	if register(r.fd, registerBuffers, unsafe.Pointer(&iov), 1) == nil {
+		c.ReadFixed = true
+	}
+	runtime.KeepAlive(arena)
+
+	var pipeFDs [2]int
+	if syscall.Pipe(pipeFDs[:]) == nil {
+		fds := [1]int32{int32(pipeFDs[0])}
+		if register(r.fd, registerFiles, unsafe.Pointer(&fds[0]), 1) == nil {
+			c.RegisteredFiles = true
+		}
+		syscall.Close(pipeFDs[0])
+		syscall.Close(pipeFDs[1])
 	}
 	r.Close()
-	return true
+
+	if rs, err := newRawRing(nil, Options{Entries: 8, SQPoll: true, SQPollIdleMS: 1}); err == nil {
+		c.SQPoll = true
+		rs.Close()
+	}
+	return c
 }
 
-func (r *iouRing) PrepRead(id uint64, off int64, buf []byte) bool {
+// prep stages one SQE. bufIndex is only meaningful for opReadFixed.
+func (r *iouRing) prep(id uint64, off int64, buf []byte, opcode uint8, bufIndex uint16) bool {
 	if r.staged >= r.sqEntries || r.inflight+r.staged >= r.cqEntries {
 		return false
 	}
@@ -202,14 +318,20 @@ func (r *iouRing) PrepRead(id uint64, off int64, buf []byte) bool {
 	}
 	idx := r.localTail & r.sqMask
 	sqe := unsafe.Pointer(&r.sqes[idx*sqeSize])
-	// Zero the slot, then fill the IORING_OP_READ fields.
+	// Zero the slot, then fill the read fields.
 	*(*[sqeSize]byte)(sqe) = [sqeSize]byte{}
-	*(*uint8)(sqe) = opRead                                                    // opcode
-	*(*int32)(unsafe.Add(sqe, 4)) = int32(r.file.Fd())                         // fd
+	*(*uint8)(sqe) = opcode // opcode
+	if r.fixedFile {
+		*(*uint8)(unsafe.Add(sqe, 1)) = iosqeFixedFile // flags
+		*(*int32)(unsafe.Add(sqe, 4)) = 0              // fixed-file index
+	} else {
+		*(*int32)(unsafe.Add(sqe, 4)) = int32(r.file.Fd()) // fd
+	}
 	*(*uint64)(unsafe.Add(sqe, 8)) = uint64(off)                               // off
 	*(*uint64)(unsafe.Add(sqe, 16)) = uint64(uintptr(unsafe.Pointer(&buf[0]))) // addr
 	*(*uint32)(unsafe.Add(sqe, 24)) = uint32(len(buf))                         // len
 	*(*uint64)(unsafe.Add(sqe, 32)) = id                                       // user_data
+	*(*uint16)(unsafe.Add(sqe, 40)) = bufIndex                                 // buf_index
 	r.sqArray[idx] = idx
 	r.localTail++
 	r.staged++
@@ -217,10 +339,35 @@ func (r *iouRing) PrepRead(id uint64, off int64, buf []byte) bool {
 	return true
 }
 
+func (r *iouRing) PrepRead(id uint64, off int64, buf []byte) bool {
+	return r.prep(id, off, buf, opRead, 0)
+}
+
+func (r *iouRing) PrepReadFixed(id uint64, off int64, buf []byte, bufIndex int) bool {
+	// Out-of-range indexes are still staged: the kernel completes them
+	// with a negative CQE (-EINVAL/-EFAULT) per the ring contract.
+	return r.prep(id, off, buf, opReadFixed, uint16(bufIndex))
+}
+
 func (r *iouRing) Submit() (int, error) {
 	atomic.StoreUint32(r.sqTail, r.localTail)
+	if r.sqpoll {
+		// The SQPOLL kernel thread consumes the ring; publishing the new
+		// tail is the submission. Only an idled-out thread needs an enter.
+		n := int(r.staged)
+		r.inflight += r.staged
+		r.staged = 0
+		if atomic.LoadUint32(r.sqFlags)&sqNeedWakeup != 0 {
+			r.sys.Submits++
+			if _, err := enter(r.fd, 0, 0, enterSQWakeup); err != nil {
+				return n, err
+			}
+		}
+		return n, nil
+	}
 	total := 0
 	for r.staged > 0 {
+		r.sys.Submits++
 		n, err := enter(r.fd, r.staged, 0, 0)
 		if err != nil {
 			return total, err
@@ -260,6 +407,7 @@ func (r *iouRing) Wait(min int) ([]CQE, error) {
 	r.cq = r.cq[:0]
 	r.drainCQ()
 	for len(r.cq) < min {
+		r.sys.Waits++
 		if _, err := enter(r.fd, 0, uint32(min-len(r.cq)), enterGetEvents); err != nil {
 			return r.cq, err
 		}
@@ -269,6 +417,8 @@ func (r *iouRing) Wait(min int) ([]CQE, error) {
 }
 
 func (r *iouRing) Entries() int { return int(r.sqEntries) }
+
+func (r *iouRing) Syscalls() Syscalls { return r.sys }
 
 func (r *iouRing) Close() error {
 	// Drain in-flight completions so the kernel is not writing into
@@ -294,5 +444,6 @@ func (r *iouRing) Close() error {
 		syscall.Close(r.fd)
 		r.fd = -1
 	}
+	r.fixed = nil
 	return nil
 }

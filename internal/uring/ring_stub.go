@@ -7,10 +7,11 @@ import (
 	"os"
 )
 
-// io_uring is Linux-only; other platforms always use the pool backend.
+// io_uring is Linux-only; other platforms always use the pool backend
+// and report an empty capability set.
 
-func probe() bool { return false }
+func probe() Caps { return Caps{} }
 
-func newIOURing(f *os.File, entries int) (Ring, error) {
+func newIOURing(f *os.File, o Options) (Ring, error) {
 	return nil, fmt.Errorf("uring: io_uring is linux-only (use %s)", BackendPool)
 }

@@ -2,8 +2,11 @@
 // RingSampler engine is written against. Three backends implement it:
 //
 //   - BackendIOURing: a from-scratch Linux io_uring binding (raw
-//     io_uring_setup/io_uring_enter syscalls + mmap'd SQ/CQ rings, no
-//     cgo, no liburing). The paper's real I/O path.
+//     io_uring_setup/io_uring_enter/io_uring_register syscalls + mmap'd
+//     SQ/CQ rings, no cgo, no liburing). The paper's real I/O path,
+//     with optional fast-path knobs: registered fixed buffers
+//     (IORING_OP_READ_FIXED), registered files (IOSQE_FIXED_FILE), and
+//     SQPOLL submission.
 //   - BackendPool: a portable pread worker pool with the same batched
 //     SQ/CQ semantics. Always available; this is what keeps the engine
 //     running on non-Linux platforms and inside seccomp sandboxes.
@@ -19,7 +22,9 @@ package uring
 import (
 	"fmt"
 	"os"
+	"strings"
 	"sync"
+	"unsafe"
 )
 
 // Backend names a ring implementation.
@@ -70,12 +75,26 @@ type CQE struct {
 //     completely idle (nothing staged or in flight).
 //   - Wait(min) with min larger than the in-flight count is clamped;
 //     Wait(0) is a non-blocking poll.
+//   - Fixed-buffer reads: PrepReadFixed stages a read whose destination
+//     must lie inside the registered buffer named by bufIndex (see
+//     Options.FixedBuffers). A request referencing an unregistered
+//     index, or a destination outside that buffer's bounds, is still
+//     accepted and completes with -EINVAL / -EFAULT — io_uring's own
+//     convention — never a panic or a silent success. Backends without
+//     kernel-side fixed buffers (pool, sim) emulate: they validate the
+//     index and bounds, then read exactly like PrepRead.
 type Ring interface {
 	// PrepRead stages a read of len(buf) bytes at byte offset off into
 	// the submission queue. It returns false when the SQ is full or too
 	// many requests are in flight — the caller should Submit and/or
 	// Wait, then retry.
 	PrepRead(id uint64, off int64, buf []byte) bool
+	// PrepReadFixed stages a read like PrepRead, but through the
+	// registered fixed buffer bufIndex: buf must be a sub-slice of the
+	// arena passed at that index in Options.FixedBuffers. Invalid
+	// references complete with -EINVAL (unregistered index) or -EFAULT
+	// (out of the arena's bounds).
+	PrepReadFixed(id uint64, off int64, buf []byte, bufIndex int) bool
 	// Submit publishes all staged requests and returns how many were
 	// accepted.
 	Submit() (int, error)
@@ -89,22 +108,118 @@ type Ring interface {
 	Close() error
 }
 
+// Syscalls counts a ring's kernel crossings: Submits is submission-side
+// syscalls (io_uring_enter with work to publish — or SQPOLL wakeups,
+// which drop to zero in steady state; one pread(2) per request for the
+// pool and sim backends, their true submission cost), Waits is blocking
+// completion-side syscalls (io_uring_enter GETEVENTS; zero for pool/sim,
+// which complete in user space). The benchmark harness divides these by
+// batch count to report syscalls-per-batch honestly per knob combo.
+type Syscalls struct {
+	Submits int64
+	Waits   int64
+}
+
+// SyscallReporter is implemented by rings that track their kernel
+// crossings. Wrappers (the fault ring) forward to the wrapped ring.
+type SyscallReporter interface {
+	Syscalls() Syscalls
+}
+
+// Caps is the per-feature capability set of the real io_uring backend
+// in this environment, as probed at first use. Ring false means the
+// base binding doesn't work at all (non-Linux, old kernel, seccomp) and
+// every other field is false too.
+type Caps struct {
+	// Ring: io_uring_setup, the three ring mmaps, and io_uring_enter all
+	// work. The gate for BackendIOURing.
+	Ring bool
+	// ReadFixed: IORING_REGISTER_BUFFERS succeeds, so
+	// IORING_OP_READ_FIXED into registered arenas is usable.
+	ReadFixed bool
+	// RegisteredFiles: IORING_REGISTER_FILES succeeds, so SQEs can carry
+	// IOSQE_FIXED_FILE and skip the per-SQE fd lookup.
+	RegisteredFiles bool
+	// SQPoll: IORING_SETUP_SQPOLL rings can be created (kernel 5.11+
+	// unprivileged, or CAP_SYS_NICE), so steady-state submission costs
+	// zero syscalls.
+	SQPoll bool
+}
+
+// String renders the capability set compactly, e.g.
+// "ring+read_fixed+reg_files+sqpoll" or "unavailable".
+func (c Caps) String() string {
+	if !c.Ring {
+		return "unavailable"
+	}
+	parts := []string{"ring"}
+	if c.ReadFixed {
+		parts = append(parts, "read_fixed")
+	}
+	if c.RegisteredFiles {
+		parts = append(parts, "reg_files")
+	}
+	if c.SQPoll {
+		parts = append(parts, "sqpoll")
+	}
+	return strings.Join(parts, "+")
+}
+
+// Options configures ring construction beyond the SQ depth. The zero
+// value is the plain path every backend has always provided.
+type Options struct {
+	// Entries is the SQ capacity (<= 0 selects DefaultEntries).
+	Entries int
+	// FixedBuffers are workspace arenas to register at setup
+	// (IORING_REGISTER_BUFFERS). PrepReadFixed destinations must lie
+	// inside the arena named by their index. The real backend fails
+	// construction when registration is refused (probe Caps.ReadFixed
+	// first); pool and sim emulate — they validate indexes and bounds
+	// and otherwise read normally.
+	FixedBuffers [][]byte
+	// RegisterFile registers the ring's file at setup
+	// (IORING_REGISTER_FILES) and makes every SQE use the fixed-file
+	// index instead of the raw fd. Accepted and ignored by pool/sim,
+	// which hold the *os.File directly.
+	RegisterFile bool
+	// SQPoll requests IORING_SETUP_SQPOLL: a kernel thread consumes the
+	// SQ, so steady-state Submit is a shared-memory store with no
+	// syscall (a wakeup enter only after the thread idles out).
+	// Accepted and ignored by pool/sim.
+	SQPoll bool
+	// SQPollIdleMS is the SQPOLL kernel thread's spin-down timeout in
+	// milliseconds (0 selects 100). Longer keeps submission free across
+	// bursts at the cost of a busy kernel thread.
+	SQPollIdleMS uint32
+}
+
 // DefaultEntries is the paper's default ring size.
 const DefaultEntries = 512
 
-// New opens a ring over f with the given SQ capacity (entries <= 0
-// selects DefaultEntries).
+// New opens a plain ring over f with the given SQ capacity (entries
+// <= 0 selects DefaultEntries). Shorthand for NewWith with only
+// Entries set.
 func New(be Backend, f *os.File, entries int) (Ring, error) {
-	if entries <= 0 {
-		entries = DefaultEntries
+	return NewWith(be, f, Options{Entries: entries})
+}
+
+// NewWith opens a ring over f with explicit Options. The real backend
+// enables exactly what the options ask for and fails when the kernel
+// refuses a requested feature — callers gate requests on Probe() and
+// fall back themselves, so a downgrade is always a visible decision,
+// never a silent one. Pool and sim emulate fixed buffers and accept-
+// and-ignore the remaining knobs (documented per field).
+func NewWith(be Backend, f *os.File, o Options) (Ring, error) {
+	if o.Entries <= 0 {
+		o.Entries = DefaultEntries
 	}
 	switch be {
 	case BackendPool:
-		return newPool(f, entries), nil
+		return newPool(f, o), nil
 	case BackendSim:
-		return newSim(f, entries), nil
+		return newSim(f, o), nil
 	case BackendIOURing:
-		return newIOURing(f, entries)
+		return newIOURing(f, o)
 	default:
 		return nil, fmt.Errorf("uring: unknown backend %q", be)
 	}
@@ -112,21 +227,36 @@ func New(be Backend, f *os.File, entries int) (Ring, error) {
 
 var (
 	probeOnce sync.Once
-	probeOK   bool
+	probeCaps Caps
 )
 
-// Probe reports whether the real io_uring backend works here: the
-// syscalls exist, the sandbox permits them, and the ring mmaps
-// succeed. It never panics and caches its result — sandboxes and older
-// kernels simply get false, and the engine falls back to BackendPool.
-func Probe() bool {
+// Probe reports the real io_uring backend's per-feature capability set
+// in this environment: whether the base binding works (syscalls exist,
+// the sandbox permits them, the ring mmaps succeed) and which fast-path
+// knobs (fixed buffers, registered files, SQPOLL) the kernel grants.
+// It never panics and caches its result — sandboxes and older kernels
+// simply report fewer capabilities, and the engine downgrades to the
+// plain path (or BackendPool when even Caps.Ring is false).
+func Probe() Caps {
 	probeOnce.Do(func() {
 		defer func() {
 			if recover() != nil {
-				probeOK = false
+				probeCaps = Caps{}
 			}
 		}()
-		probeOK = probe()
+		probeCaps = probe()
 	})
-	return probeOK
+	return probeCaps
+}
+
+// sliceWithin reports whether inner is a non-empty sub-slice of outer's
+// backing bytes — the bounds check pool/sim use to emulate the kernel's
+// fixed-buffer validation.
+func sliceWithin(outer, inner []byte) bool {
+	if len(outer) == 0 || len(inner) == 0 {
+		return false
+	}
+	o0 := uintptr(unsafe.Pointer(&outer[0]))
+	i0 := uintptr(unsafe.Pointer(&inner[0]))
+	return i0 >= o0 && i0+uintptr(len(inner)) <= o0+uintptr(len(outer))
 }

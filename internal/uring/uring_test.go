@@ -60,7 +60,7 @@ func TestUnknownBackendRejected(t *testing.T) {
 // same batched read workload and checks contents and result codes.
 func TestBackendsReadCorrectly(t *testing.T) {
 	backends := []Backend{BackendPool, BackendSim}
-	if Probe() {
+	if Probe().Ring {
 		backends = append(backends, BackendIOURing)
 	} else {
 		t.Log("io_uring unavailable; real backend skipped")
@@ -121,7 +121,7 @@ func TestBackendsReadCorrectly(t *testing.T) {
 func TestIOURingConstructorGated(t *testing.T) {
 	f := testFile(t, 4)
 	r, err := New(BackendIOURing, f, 8)
-	if Probe() {
+	if Probe().Ring {
 		if err != nil {
 			t.Fatalf("Probe()=true but io_uring backend failed: %v", err)
 		}

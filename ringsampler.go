@@ -61,15 +61,30 @@ func GenerateDataset(dir, kind string, nodes, edges int64, seed uint64) error {
 	return err
 }
 
+// OpenOptions configures how a dataset's edge file is opened; the
+// interesting knob is Direct (O_DIRECT with probed alignment, falling
+// back to buffered when unsupported).
+type OpenOptions = storage.OpenOptions
+
 // Open opens and validates a dataset directory.
 func Open(dir string) (*Dataset, error) { return storage.Open(dir) }
+
+// OpenWith opens and validates a dataset directory with explicit open
+// options (e.g. O_DIRECT edge-file reads).
+func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
+	return storage.OpenWith(dir, opts)
+}
+
+// Probe reports the per-feature io_uring capability set of this
+// environment (base ring, fixed buffers, registered files, SQPOLL).
+func Probe() uring.Caps { return uring.Probe() }
 
 // NewSampler binds the engine to ds using the best ring backend
 // available: real io_uring when the kernel and sandbox allow it, the
 // portable pread pool otherwise.
 func NewSampler(ds *Dataset, cfg Config) (*Sampler, error) {
 	be := uring.BackendPool
-	if uring.Probe() {
+	if uring.Probe().Ring {
 		be = uring.BackendIOURing
 	}
 	return core.New(ds, cfg, be)

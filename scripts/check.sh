@@ -31,6 +31,21 @@ else
     go test -race ./...
 fi
 
+# io_uring knob-ablation sweep: entries/s, syscalls-per-batch, and
+# device bytes per fast-path knob combination (fixed buffers, registered
+# files, SQPOLL, O_DIRECT, bounded depth), with byte identity enforced
+# across every combination. Written as benchdata/BENCH_uring.json so
+# runs are diffable across commits; QUICK=1 keeps only the plain+fixed
+# smoke pair.
+uring_quick=""
+if [ "${QUICK:-0}" = "1" ]; then
+    uring_quick="-bench-uring-quick"
+fi
+go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 \
+    -threads 4 -targets 2048 -batch 256 \
+    -bench-uring benchdata/BENCH_uring.json $uring_quick >/dev/null
+echo "wrote benchdata/BENCH_uring.json"
+
 # Bench summary: epoch throughput (entries/s, bytes/s) and hot-neighbor
 # cache hit rate at budgets 0 and 64 MiB on the checked-in dataset,
 # written as benchdata/BENCH_epoch.json so runs are diffable across
