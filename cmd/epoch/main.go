@@ -14,6 +14,14 @@
 // 64 MiB and writes the machine-readable throughput summary the bench
 // harness tracks.
 //
+// -features runs the post-draw feature-fetch stage (the dataset needs a
+// feature file; generate a temporary one with -feature-dim);
+// -feature-cache-mb pins the hottest nodes' vectors under a second
+// memory budget. -bench-features runs the feature cache-budget ablation
+// and writes benchdata/BENCH_features.json-shaped output, asserting the
+// largest budget reaches zero device feature bytes. -probe with -data
+// additionally reports the dataset's feature presence, dim and stride.
+//
 // The io_uring fast-path knobs are plumbed through as flags:
 // -uring-fixed (registered buffers + READ_FIXED), -uring-regfiles
 // (IOSQE_FIXED_FILE), -uring-sqpoll (kernel-thread submission),
@@ -55,8 +63,8 @@ import (
 	"ringsampler/internal/uring"
 )
 
-func genTemp(dir string, nodes, edges int64, seed uint64) (graph.Manifest, error) {
-	return gen.Generate(dir, "epoch-tmp", "rmat", nodes, edges, seed)
+func genTemp(dir string, nodes, edges int64, seed uint64, featureDim int) (graph.Manifest, error) {
+	return gen.GenerateWith(dir, "epoch-tmp", "rmat", nodes, edges, seed, gen.Options{FeatureDim: featureDim})
 }
 
 // testWrapRing, when non-nil, decorates each run's rings keyed by that
@@ -94,6 +102,11 @@ func run(args []string, out io.Writer) error {
 		depth      = fs.Int("depth", 0, "cap in-flight reads per worker (0: bounded only by the ring)")
 		benchUring = fs.String("bench-uring", "", "run the knob-ablation sweep and write its JSON summary to this file")
 		benchQuick = fs.Bool("bench-uring-quick", false, "shrink the knob sweep to the plain-vs-fixed smoke pair")
+		featureDim = fs.Int("feature-dim", 0, "per-node f32 feature dimension for the temporary graph (with empty -data; 0: no features)")
+		features   = fs.Bool("features", false, "fetch feature vectors for every sampled node after each batch's draw")
+		featMB     = fs.Int64("feature-cache-mb", 0, "hot-node feature cache budget in MiB (0: cache off)")
+		benchFeat  = fs.String("bench-features", "", "run the feature cache-budget ablation and write its JSON summary to this file")
+		benchFeatQ = fs.Bool("bench-features-quick", false, "shrink the feature ablation to the cache-off/cache-all smoke pair")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +118,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  fixed buffers:    %v\n", caps.ReadFixed)
 		fmt.Fprintf(out, "  registered files: %v\n", caps.RegisteredFiles)
 		fmt.Fprintf(out, "  sqpoll:           %v\n", caps.SQPoll)
+		// -probe with -data also inspects the dataset itself; before, the
+		// flag was silently ignored here and a featureful dataset was
+		// indistinguishable from an edge-only one.
+		if *data != "" {
+			man, err := graph.LoadManifest(filepath.Join(*data, storage.ManifestFile))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "dataset %s: %d nodes, %d edges\n", *data, man.NumNodes, man.NumEdges)
+			if man.FeatureDim > 0 {
+				fmt.Fprintf(out, "  features:         %d-dim f32, %d B/node stride, %d B total (checksum %s)\n",
+					man.FeatureDim, man.FeatureDim*storage.FeatureElemBytes, man.FeatBytes, man.FeatChecksum)
+			} else {
+				fmt.Fprintf(out, "  features:         none\n")
+			}
+		}
 		return nil
 	}
 	// SIGINT/SIGTERM drain the epoch gracefully: no further batches are
@@ -114,6 +143,15 @@ func run(args []string, out io.Writer) error {
 	defer stopSignals()
 	if *cacheMB < 0 {
 		return fmt.Errorf("-cache-mb %d must be non-negative", *cacheMB)
+	}
+	if *featMB < 0 {
+		return fmt.Errorf("-feature-cache-mb %d must be non-negative", *featMB)
+	}
+	if *featureDim < 0 {
+		return fmt.Errorf("-feature-dim %d must be non-negative", *featureDim)
+	}
+	if *featureDim > 0 && *data != "" {
+		return fmt.Errorf("-feature-dim only applies to the temporary graph; %s already fixes its features", *data)
 	}
 	be, err := pickBackend(*backend)
 	if err != nil {
@@ -128,8 +166,12 @@ func run(args []string, out io.Writer) error {
 		}
 		defer os.RemoveAll(tmp)
 		dir = filepath.Join(tmp, "g")
-		fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
-		if _, err := genTemp(dir, *nodes, *edges, *seed); err != nil {
+		if *featureDim > 0 {
+			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges, %d-dim features) ...\n", *nodes, *edges, *featureDim)
+		} else {
+			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
+		}
+		if _, err := genTemp(dir, *nodes, *edges, *seed, *featureDim); err != nil {
 			return err
 		}
 	}
@@ -146,6 +188,8 @@ func run(args []string, out io.Writer) error {
 	cfg.RegisteredFiles = *uringReg
 	cfg.SQPoll = *uringSQP
 	cfg.Depth = *depth
+	cfg.FetchFeatures = *features
+	cfg.FeatureCacheBudgetBytes = *featMB << 20
 	if *threads > 0 {
 		cfg.Threads = *threads
 	}
@@ -153,12 +197,18 @@ func run(args []string, out io.Writer) error {
 		cfg.BatchSize = *batch
 	}
 	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), be)
+	if ds.HasFeatures() {
+		fmt.Fprintf(out, "features: %d-dim f32, %d B/node stride\n", ds.FeatureDim(), ds.FeatureStride())
+	}
 	if *odirect && ds.DirectAlign() > 0 {
 		fmt.Fprintf(out, "O_DIRECT active: %d-byte alignment\n", ds.DirectAlign())
 	}
 
 	if *benchUring != "" {
 		return writeBenchUring(out, *benchUring, dir, cfg, be, *targets, *benchQuick)
+	}
+	if *benchFeat != "" {
+		return writeBenchFeatures(out, *benchFeat, dir, ds, cfg, be, *targets, *benchFeatQ)
 	}
 
 	rng := sample.NewRNG(sample.Mix(*seed, 0xe90c))
@@ -221,6 +271,14 @@ func runOnce(ctx context.Context, out io.Writer, ds *storage.Dataset, cfg core.C
 		cn, cb := s.CacheInfo()
 		fmt.Fprintf(out, "  cache     pinned %d nodes / %d B under a %d B budget; %d hits / %d misses, %d B served\n",
 			cn, cb, cfg.CacheBudgetBytes, st.IO.CacheHits, st.IO.CacheMisses, st.IO.CacheBytes)
+	}
+	if cfg.FetchFeatures {
+		fmt.Fprintf(out, "  features  %d ring reads, %d B from the device\n", st.IO.FeatReads, st.IO.FeatBytesRead)
+		if cfg.FeatureCacheBudgetBytes > 0 {
+			fn, fb := s.FeatureCacheInfo()
+			fmt.Fprintf(out, "  featcache pinned %d nodes / %d B under a %d B budget; %d hits / %d misses, %d B served\n",
+				fn, fb, cfg.FeatureCacheBudgetBytes, st.IO.FeatCacheHits, st.IO.FeatCacheMisses, st.IO.FeatCacheBytes)
+		}
 	}
 	fmt.Fprintf(out, "  io        %+v\n", st.IO)
 	for wid, ws := range st.PerWorker {
@@ -372,6 +430,83 @@ func writeBenchUring(out io.Writer, path, dir string, cfg core.Config, be uring.
 		return err
 	}
 	fmt.Fprintf(out, "uring knob sweep written to %s\n", path)
+	return nil
+}
+
+// writeBenchFeatures runs the feature-store ablation (exp.FeatureSweep)
+// and writes the per-budget JSON summary (benchdata/BENCH_features.json
+// in CI): entries/s, feature hit rate, and device feature bytes at each
+// feature-cache budget, with byte-identical payloads enforced by the
+// sweep itself. The final budget is large enough to pin every node, so
+// a healthy run ends at zero device feature bytes.
+func writeBenchFeatures(out io.Writer, path, dir string, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets int, quick bool) error {
+	budgets := []int64{0, 1 << 20, 4 << 20, 1 << 30}
+	if quick {
+		budgets = []int64{0, 1 << 30}
+	}
+	points, err := exp.FeatureSweep(ds, exp.Options{
+		Targets:   targets,
+		BatchSize: cfg.BatchSize,
+		Threads:   cfg.Threads,
+	}, be, budgets, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	type featPoint struct {
+		BudgetMB        int64   `json:"budget_mb"`
+		CacheNodes      int     `json:"cache_nodes"`
+		CacheBytes      int64   `json:"cache_bytes"`
+		FeatHitRate     float64 `json:"feat_hit_rate"`
+		EntriesPerSec   float64 `json:"entries_per_sec"`
+		DeviceFeatBytes int64   `json:"device_feat_bytes"`
+		FeatReads       int64   `json:"feat_reads"`
+		Digest          string  `json:"digest"`
+	}
+	type featFile struct {
+		Dataset    string      `json:"dataset"`
+		Backend    string      `json:"backend"`
+		Threads    int         `json:"threads"`
+		Targets    int         `json:"targets"`
+		FeatureDim int         `json:"feature_dim"`
+		Points     []featPoint `json:"points"`
+	}
+	ff := featFile{
+		Dataset:    dir,
+		Backend:    string(be),
+		Threads:    cfg.Threads,
+		Targets:    targets,
+		FeatureDim: ds.FeatureDim(),
+	}
+	for _, p := range points {
+		fp := featPoint{
+			BudgetMB:        p.BudgetBytes >> 20,
+			CacheNodes:      p.CacheNodes,
+			CacheBytes:      p.CacheBytes,
+			FeatHitRate:     p.HitRate,
+			EntriesPerSec:   p.Stats.EntriesPerSec,
+			DeviceFeatBytes: p.Stats.IO.FeatBytesRead,
+			FeatReads:       p.Stats.IO.FeatReads,
+			Digest:          fmt.Sprintf("%#016x", p.Digest),
+		}
+		ff.Points = append(ff.Points, fp)
+		fmt.Fprintf(out, "feature cache %6d MB: %5d nodes pinned, hit rate %.3f, %9d device feature B, %12.0f entries/s\n",
+			fp.BudgetMB, fp.CacheNodes, fp.FeatHitRate, fp.DeviceFeatBytes, fp.EntriesPerSec)
+	}
+	if last := ff.Points[len(ff.Points)-1]; last.DeviceFeatBytes != 0 {
+		return fmt.Errorf("feature sweep's largest budget (%d MB) still read %d feature bytes from the device — cache admission is broken",
+			last.BudgetMB, last.DeviceFeatBytes)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(ff, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "feature ablation written to %s\n", path)
 	return nil
 }
 

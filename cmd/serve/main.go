@@ -3,9 +3,15 @@
 // the ring workers are built for, with admission control and a
 // Prometheus metrics surface (see DESIGN.md §8).
 //
-//	POST /v1/sample  — {"targets":[...],"fanouts":[...],"seed":N}
+//	POST /v1/sample  — {"targets":[...],"fanouts":[...],"seed":N,"features":bool}
 //	GET  /healthz    — liveness (503 while draining)
 //	GET  /metrics    — Prometheus text format
+//
+// With ?features=true (or "features":true in the body) each returned
+// batch carries the sampled nodes' raw little-endian f32 vectors,
+// fetched through the same ring pipeline as the adjacency reads. The
+// dataset must have a feature file (-feature-dim on the temporary
+// graph); -feature-cache-mb pins the hottest nodes' vectors in memory.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
 // are refused, and the final I/O counters are flushed to stderr. A
@@ -64,6 +70,8 @@ func run(args []string, out io.Writer) error {
 		threads      = fs.Int("threads", 0, "worker-pool size (0: config default)")
 		batch        = fs.Int("batch", 0, "engine mini-batch size / chunking granularity (0: config default)")
 		cacheMB      = fs.Int64("cache-mb", 0, "hot-neighbor cache budget in MiB (0: cache off)")
+		featMB       = fs.Int64("feature-cache-mb", 0, "hot-node feature cache budget in MiB (0: cache off)")
+		featureDim   = fs.Int("feature-dim", 0, "per-node f32 feature dimension for the temporary graph (with empty -data; 0: no features)")
 		queue        = fs.Int("queue", 0, "admission queue bound in jobs; full queue fast-fails 429 (0: default 256)")
 		batchWindow  = fs.Duration("batch-window", 0, "max wait for more jobs before flushing a partial micro-batch (0: default 2ms)")
 		maxBatch     = fs.Int("max-batch", 0, "flush a micro-batch at this many targets (0: engine batch size)")
@@ -84,6 +92,15 @@ func run(args []string, out io.Writer) error {
 	if *cacheMB < 0 {
 		return fmt.Errorf("-cache-mb %d must be non-negative", *cacheMB)
 	}
+	if *featMB < 0 {
+		return fmt.Errorf("-feature-cache-mb %d must be non-negative", *featMB)
+	}
+	if *featureDim < 0 {
+		return fmt.Errorf("-feature-dim %d must be non-negative", *featureDim)
+	}
+	if *featureDim > 0 && *data != "" {
+		return fmt.Errorf("-feature-dim only applies to the temporary graph; %s already fixes its features", *data)
+	}
 	be, err := pickBackend(*backend)
 	if err != nil {
 		return err
@@ -97,8 +114,12 @@ func run(args []string, out io.Writer) error {
 		}
 		defer os.RemoveAll(tmp)
 		dir = filepath.Join(tmp, "g")
-		fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
-		if _, err := gen.Generate(dir, "serve-tmp", "rmat", *nodes, *edges, *seed); err != nil {
+		if *featureDim > 0 {
+			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges, %d-dim features) ...\n", *nodes, *edges, *featureDim)
+		} else {
+			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
+		}
+		if _, err := gen.GenerateWith(dir, "serve-tmp", "rmat", *nodes, *edges, *seed, gen.Options{FeatureDim: *featureDim}); err != nil {
 			return err
 		}
 	}
@@ -111,6 +132,7 @@ func run(args []string, out io.Writer) error {
 	cfg := serve.DefaultConfig()
 	cfg.Backend = be
 	cfg.Core.CacheBudgetBytes = *cacheMB << 20
+	cfg.Core.FeatureCacheBudgetBytes = *featMB << 20
 	cfg.Core.FixedBuffers = *uringFixed
 	cfg.Core.RegisteredFiles = *uringReg
 	cfg.Core.SQPoll = *uringSQP
@@ -145,6 +167,9 @@ func run(args []string, out io.Writer) error {
 	}
 	eff := srv.Config()
 	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), eff.Backend)
+	if ds.HasFeatures() {
+		fmt.Fprintf(out, "features: %d-dim f32 per node; request them with POST /v1/sample?features=true\n", ds.FeatureDim())
+	}
 	fmt.Fprintf(out, "serving on http://%s (%d workers, queue %d, window %v)\n",
 		ln.Addr(), eff.Core.Threads, eff.QueueDepth, eff.BatchWindow)
 

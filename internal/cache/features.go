@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"ringsampler/internal/memctl"
+)
+
+// FeatureSource is the subset of a dataset the feature-cache builder
+// reads: node count, per-node degree (the heat signal), the feature
+// record stride, and raw byte access to the feature file.
+// storage.Dataset satisfies it.
+type FeatureSource interface {
+	NumNodes() int64
+	Range(v uint32) (start, end int64)
+	FeatureStride() int64
+	FeatureReadAt(p []byte, off int64) (int, error)
+}
+
+// BuildFeatures pins the feature vectors of the highest-degree nodes
+// (ties broken by ascending node id) under budget — the second,
+// much-larger-byte-per-node cache axis next to Build's neighbor lists.
+// Degree is the right heat proxy here too: a node's feature vector is
+// fetched whenever it appears in any sampled frontier, and hubs
+// dominate frontiers on skewed graphs. Every pinned vector is charged
+// stride + nodeOverheadBytes against budget, and selection stops at the
+// first candidate that does not fit, so the pinned set is a prefix of
+// one fixed order: a larger budget caches a superset of a smaller one,
+// making device feature bytes provably monotone non-increasing in the
+// budget for a fixed workload.
+func BuildFeatures(g FeatureSource, budget *memctl.Budget) (*Hot, error) {
+	if budget == nil {
+		return nil, fmt.Errorf("cache: nil budget")
+	}
+	stride := g.FeatureStride()
+	if stride <= 0 {
+		return nil, fmt.Errorf("cache: feature stride %d must be positive", stride)
+	}
+	numNodes := g.NumNodes()
+	if numNodes <= 0 || numNodes > int64(^uint32(0)) {
+		return nil, fmt.Errorf("cache: node count %d outside uint32 range", numNodes)
+	}
+	type cand struct {
+		id  uint32
+		deg int64
+	}
+	// Unlike neighbor lists, every node has a feature vector — degree-0
+	// nodes are candidates too (they can appear as layer-0 targets).
+	cands := make([]cand, 0, numNodes)
+	for v := int64(0); v < numNodes; v++ {
+		st, en := g.Range(uint32(v))
+		cands = append(cands, cand{id: uint32(v), deg: en - st})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].deg != cands[j].deg {
+			return cands[i].deg > cands[j].deg
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	// Prefix selection under the budget.
+	var picked []uint32
+	for _, c := range cands {
+		if err := budget.Charge(stride + nodeOverheadBytes); err != nil {
+			if memctl.IsOOM(err) {
+				break
+			}
+			return nil, err
+		}
+		picked = append(picked, c.id)
+	}
+	h := &Hot{
+		index: make(map[uint32]span, len(picked)),
+		data:  make([]byte, int64(len(picked))*stride),
+		bytes: int64(len(picked)) * stride,
+	}
+	// Fill in node-id order (= file order for the fixed-stride layout)
+	// so the build pass reads the feature file sequentially.
+	sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+	var at int64
+	for _, id := range picked {
+		if _, err := g.FeatureReadAt(h.data[at:at+stride], int64(id)*stride); err != nil {
+			return nil, fmt.Errorf("cache: read node %d features: %w", id, err)
+		}
+		h.index[id] = span{off: at, n: stride}
+		at += stride
+	}
+	return h, nil
+}

@@ -24,9 +24,23 @@ func (l *Layer) NeighborsOf(i int) []uint32 {
 }
 
 // Batch is the result of sampling one mini-batch: one Layer per
-// configured fanout.
+// configured fanout, plus the optional feature payload when the
+// feature stage ran.
 type Batch struct {
 	Layers []Layer
+
+	// FeatNodes is the sorted, deduplicated union of every node in the
+	// batch (layer-0 targets plus all sampled neighbors) — the nodes
+	// whose feature vectors a trainer needs. Nil unless the feature
+	// stage ran.
+	FeatNodes []uint32
+	// Features holds FeatNodes' feature vectors back to back, raw
+	// little-endian f32 bytes, FeatureDim*4 bytes per node in FeatNodes
+	// order. Nil unless the feature stage ran.
+	Features []byte
+	// FeatureDim is the per-node vector width of Features (0 when the
+	// feature stage did not run).
+	FeatureDim int
 }
 
 // TotalSampled returns the total number of sampled neighbor entries
@@ -71,6 +85,17 @@ func (b *Batch) Digest() uint64 {
 		for _, v := range l.Neighbors {
 			put32(v)
 		}
+	}
+	// Feature payload, when the feature stage ran. Skipped entirely for
+	// feature-less batches so their digests are unchanged from before
+	// the feature store existed.
+	if b.FeatureDim > 0 || len(b.FeatNodes) > 0 || len(b.Features) > 0 {
+		put64(int64(b.FeatureDim))
+		put64(int64(len(b.FeatNodes)))
+		for _, v := range b.FeatNodes {
+			put32(v)
+		}
+		h.Write(b.Features)
 	}
 	return h.Sum64()
 }

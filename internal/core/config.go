@@ -91,11 +91,28 @@ type Config struct {
 	// are identical with the cache on or off — only device traffic
 	// changes — so Batch digests never depend on this knob.
 	CacheBudgetBytes int64
-	// WrapRing, when non-nil, wraps each worker's ring right after
+	// FetchFeatures appends the feature stage to every batch: after the
+	// sampling layers complete, the deduplicated union of the batch's
+	// nodes has its feature vectors fetched through the worker's feature
+	// ring into Batch.Features. Requires a dataset with a feature file.
+	// The stage runs after all draws, so it never perturbs the sampled
+	// node set — only Batch digests (which fold the feature payload) and
+	// device traffic change.
+	FetchFeatures bool
+	// FeatureCacheBudgetBytes is the memctl-accounted budget for the
+	// hot-node feature cache — a second budget axis next to
+	// CacheBudgetBytes, pinning the feature vectors of the highest-degree
+	// nodes so their fetches never touch the ring. 0 disables it.
+	// Requires a dataset with a feature file. Feature payloads are
+	// identical at any budget — only device traffic changes.
+	FeatureCacheBudgetBytes int64
+	// WrapRing, when non-nil, wraps each of a worker's rings right after
 	// construction — the hook fault-injection tests and resilience
 	// experiments use to interpose uring.NewFault (or any other
-	// decorator) without a separate backend name. Production use leaves
-	// it nil.
+	// decorator) without a separate backend name. It is called once for
+	// the edge ring (at worker construction) and once for the feature
+	// ring (on the first feature fetch), with the same workerID.
+	// Production use leaves it nil.
 	WrapRing func(r uring.Ring, workerID int) (uring.Ring, error)
 }
 
@@ -142,6 +159,9 @@ func (c *Config) validate() error {
 	}
 	if c.CacheBudgetBytes < 0 {
 		return fmt.Errorf("core: cache budget %d must be non-negative", c.CacheBudgetBytes)
+	}
+	if c.FeatureCacheBudgetBytes < 0 {
+		return fmt.Errorf("core: feature cache budget %d must be non-negative", c.FeatureCacheBudgetBytes)
 	}
 	return nil
 }

@@ -98,7 +98,7 @@ func TestCrossBackendConformance(t *testing.T) {
 			}
 			if c.wrap != nil {
 				st := w.IOStats()
-				fs, _ := uring.Faults(w.ring)
+				fs, _ := uring.Faults(w.edge.ring)
 				t.Logf("io stats: %+v; injected: %+v", st, fs)
 				if fs.Total() == 0 {
 					t.Fatal("fault-wrapped run injected nothing — plan too weak to prove anything")

@@ -100,6 +100,21 @@ type IOStats struct {
 	CacheHits   int64
 	CacheMisses int64
 	CacheBytes  int64
+	// FeatReads / FeatBytesRead count the feature-file side of the ring
+	// traffic: requests completed in full against features.bin and the
+	// bytes they delivered. The edge-file counters above never include
+	// feature traffic, so the two workloads stay separately attributable;
+	// the retry-machinery counters (Retries, ShortReads, TransientErrs,
+	// FixedReads, AlignSlackBytes) are shared across both files.
+	FeatReads     int64
+	FeatBytesRead int64
+	// FeatCacheHits / FeatCacheMisses / FeatCacheBytes mirror the
+	// neighbor-cache counters for the hot-node feature cache: per-node
+	// vector lookups and the feature bytes served from memory instead of
+	// the device.
+	FeatCacheHits   int64
+	FeatCacheMisses int64
+	FeatCacheBytes  int64
 	// FixedReads is how many requests completed through a registered
 	// fixed buffer (IORING_OP_READ_FIXED, or its pool/sim emulation).
 	FixedReads int64
@@ -135,6 +150,11 @@ func (s *IOStats) Add(o IOStats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheBytes += o.CacheBytes
+	s.FeatReads += o.FeatReads
+	s.FeatBytesRead += o.FeatBytesRead
+	s.FeatCacheHits += o.FeatCacheHits
+	s.FeatCacheMisses += o.FeatCacheMisses
+	s.FeatCacheBytes += o.FeatCacheBytes
 	s.FixedReads += o.FixedReads
 	s.AlignSlackBytes += o.AlignSlackBytes
 	s.SubmitSyscalls += o.SubmitSyscalls

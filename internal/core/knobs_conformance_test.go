@@ -197,7 +197,7 @@ func TestKnobsWithFaultsConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertBatchesEqual(t, ref, got, string(be))
-			fs, _ := uring.Faults(w.ring)
+			fs, _ := uring.Faults(w.edge.ring)
 			if fs.Total() == 0 {
 				t.Fatal("fault-wrapped run injected nothing")
 			}
@@ -239,7 +239,7 @@ func TestBadBufIndexSurfacesIOError(t *testing.T) {
 			if !errors.Is(err, syscall.EINVAL) {
 				t.Fatal("IOError does not unwrap to EINVAL")
 			}
-			fs, _ := uring.Faults(w.ring)
+			fs, _ := uring.Faults(w.edge.ring)
 			if fs.BadBufIndex == 0 {
 				t.Fatal("no buffer-index corruptions recorded")
 			}

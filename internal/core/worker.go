@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"syscall"
 
@@ -27,6 +28,9 @@ type Sampler struct {
 	// immutable after New, so workers consult it with no
 	// synchronization.
 	hot *cache.Hot
+	// featHot is the shared hot-node feature cache (nil when disabled),
+	// immutable like hot.
+	featHot *cache.Hot
 }
 
 // activeKnobs is the resolved fast-path feature set. fixed means the
@@ -72,15 +76,21 @@ func resolveKnobs(cfg *Config, backend uring.Backend, ds *storage.Dataset) activ
 // New validates the configuration and binds the engine to a ring
 // backend. BackendIOURing fails fast here when the environment doesn't
 // support it (callers gate on uring.Probe()). When
-// Config.CacheBudgetBytes is positive the hot-neighbor cache is
-// populated here, degree-first, charged against a memctl budget of
-// that size.
+// Config.CacheBudgetBytes (or FeatureCacheBudgetBytes) is positive the
+// corresponding hot cache is populated here, degree-first, charged
+// against a memctl budget of that size.
 func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if backend == uring.BackendIOURing && !uring.Probe().Ring {
 		return nil, fmt.Errorf("core: io_uring backend requested but unavailable; use %s", uring.BackendPool)
+	}
+	if cfg.FetchFeatures && !ds.HasFeatures() {
+		return nil, fmt.Errorf("core: FetchFeatures set but dataset %s has no feature file", ds.Dir())
+	}
+	if cfg.FeatureCacheBudgetBytes > 0 && !ds.HasFeatures() {
+		return nil, fmt.Errorf("core: feature cache budget set but dataset %s has no feature file", ds.Dir())
 	}
 	s := &Sampler{ds: ds, cfg: cfg, backend: backend}
 	s.active = resolveKnobs(&s.cfg, backend, ds)
@@ -90,6 +100,13 @@ func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, erro
 			return nil, fmt.Errorf("core: build hot-neighbor cache: %w", err)
 		}
 		s.hot = hot
+	}
+	if cfg.FeatureCacheBudgetBytes > 0 {
+		fh, err := cache.BuildFeatures(ds, memctl.New(cfg.FeatureCacheBudgetBytes))
+		if err != nil {
+			return nil, fmt.Errorf("core: build hot-node feature cache: %w", err)
+		}
+		s.featHot = fh
 	}
 	return s, nil
 }
@@ -103,16 +120,78 @@ func (s *Sampler) CacheInfo() (nodes int, bytes int64) {
 	return s.hot.Nodes(), s.hot.Bytes()
 }
 
-// Worker is one sampling thread (paper Fig 3a): a private ring pair,
+// FeatureCacheInfo returns the hot-node feature cache's pinned node
+// count and cached vector bytes — zeros when the cache is disabled.
+func (s *Sampler) FeatureCacheInfo() (nodes int, bytes int64) {
+	return s.featHot.Nodes(), s.featHot.Bytes()
+}
+
+// Worker is one sampling thread (paper Fig 3a): private rings, a
 // private RNG, and private offset/neighbor/target workspaces. Workers
 // share nothing, so an epoch runs them with zero synchronization.
 // A Worker is not safe for concurrent use.
+//
+// The worker drives up to two files through identical ring machinery:
+// the edge file (always) and the feature file (lazily, on the first
+// feature fetch). Each gets its own rio driver; the stages never
+// overlap in time — the feature stage runs only after every sampling
+// layer's reads have completed — so the two drivers safely share the
+// worker's arena, layer buffer, and run workspace.
 type Worker struct {
 	s     *Sampler
 	id    int
-	ring  uring.Ring
 	rng   sample.RNG
 	stats IOStats
+
+	// edge drives reads against the edge file; feat against the feature
+	// file (feat.ring stays nil until ensureFeat).
+	edge rio
+	feat rio
+
+	// broken marks a worker one of whose rings may still hold
+	// completions that could not be drained. SampleBatch refuses such a
+	// worker.
+	broken bool
+
+	// Fast-path state, fixed at construction.
+	depth int    // max in-flight requests per rio (from Config.Depth; 0 = ring-bounded)
+	arena []byte // registered fixed-buffer arena (nil when fixed is off)
+
+	// bufFixed records that the current layer buffer is the arena
+	// prefix, so (buffered-path) reads into it may use PrepReadFixed.
+	bufFixed bool
+
+	// Workspaces, reused across batches (paper §3.1).
+	runs        []ioRun      // coalesced read requests (edge entries or feature records)
+	frontier    []uint32     // target workspace
+	gathered    []uint32     // neighbor accumulation for frontier building
+	featNodes   []uint32     // feature stage: batch node-union accumulation
+	buf         []byte       // current stage buffer (arena prefix or heapBuf)
+	heapBuf     []byte       // heap backing for stages that skip the arena
+	idxs        []int        // fanout-index scratch
+	sel         []int32      // full-fetch mode: chosen in-list indices
+	nodePos     []int64      // full-fetch mode: per-node buffer position
+	cachedPicks []cachedPick // cache-served byte ranges awaiting copy
+}
+
+// rio is one ring-I/O driver: a ring over one file plus the in-flight
+// request state needed to push coalesced entry runs through it with
+// retry-with-resubmit, O_DIRECT windowing, and quarantine bookkeeping.
+// The worker has one for the edge file and one for the feature file;
+// they differ only in the file, its alignment, the entry stride runs
+// are denominated in, and which IOStats counters completed reads land
+// in (shared retry-machinery counters stay on the worker).
+type rio struct {
+	w          *Worker
+	ring       uring.Ring
+	align      int   // O_DIRECT transfer granularity (0 = buffered handle)
+	entryBytes int64 // bytes per run entry (edge entry or feature record)
+
+	// reads/bytesRead point at the IOStats counters this driver's
+	// completed reads accumulate into (Reads/BytesRead for the edge
+	// file, FeatReads/FeatBytesRead for features).
+	reads     *int64
+	bytesRead *int64
 
 	// inflight counts requests submitted to the ring whose completions
 	// have not been harvested yet. It persists across issue() calls
@@ -123,33 +202,11 @@ type Worker struct {
 	inflight int
 	// ringFailed records a ring-level failure (Submit/Wait error, or a
 	// contract-breaking stall) during the last batch; quarantine turns
-	// it into broken.
+	// it into the worker's broken.
 	ringFailed bool
-	// broken marks a worker whose ring may still hold completions that
-	// could not be drained. SampleBatch refuses such a worker.
-	broken bool
 
-	// Fast-path state, fixed at construction.
-	align int    // O_DIRECT transfer granularity (0 = buffered dataset)
-	depth int    // max in-flight requests (from Config.Depth; 0 = ring-bounded)
-	arena []byte // registered fixed-buffer arena (nil when fixed is off)
-
-	// bufFixed records that the current layer buffer is the arena
-	// prefix, so (buffered-path) reads into it may use PrepReadFixed.
-	bufFixed bool
-
-	// Workspaces, reused across batches (paper §3.1).
-	runs        []ioRun      // offset workspace: coalesced read requests
-	reqs        []ioReq      // in-flight request state (retry bookkeeping)
-	retryQ      []int        // request IDs awaiting resubmission
-	frontier    []uint32     // target workspace
-	gathered    []uint32     // neighbor accumulation for frontier building
-	buf         []byte       // current layer buffer (arena prefix or heapBuf)
-	heapBuf     []byte       // heap backing for layers that skip the arena
-	idxs        []int        // fanout-index scratch
-	sel         []int32      // full-fetch mode: chosen in-list indices
-	nodePos     []int64      // full-fetch mode: per-node buffer position
-	cachedPicks []cachedPick // cache-served byte ranges awaiting copy
+	reqs   []ioReq // in-flight request state (retry bookkeeping)
+	retryQ []int   // request IDs awaiting resubmission
 
 	// O_DIRECT scratch slots: one aligned window buffer per in-flight
 	// request, recycled through free lists so memory is bounded by the
@@ -173,17 +230,18 @@ type dslot struct {
 // slots and plain reads.
 const directChunkBytes = 16 << 10
 
-// cachedPick is one cache-served byte range: src is cached edge-file
-// bytes, bufPos the layer-buffer position they land at. Copies are
-// deferred because the buffer is sized only after planning completes.
+// cachedPick is one cache-served byte range: src is cached file bytes,
+// bufPos the stage-buffer position they land at. Copies are deferred
+// because the buffer is sized only after planning completes.
 type cachedPick struct {
 	bufPos int64
 	src    []byte
 }
 
-// ioRun is one coalesced read: `entries` consecutive edge-file entries
+// ioRun is one coalesced read: `entries` consecutive file entries
+// (edge entries or feature records, per the issuing rio's stride)
 // starting at entry index `entryStart`, landing at byte `bufPos` of
-// the layer buffer.
+// the stage buffer.
 type ioRun struct {
 	entryStart int64
 	entries    int32
@@ -197,8 +255,8 @@ type ioRun struct {
 // int* fields remember the interior the run actually wants; offsets
 // stay aligned across resubmission by rounding progress down.
 type ioReq struct {
-	off      int64 // next edge-file byte offset to read
-	bufPos   int64 // write position in the layer buffer (interior pos)
+	off      int64 // next file byte offset to read
+	bufPos   int64 // write position in the stage buffer (interior pos)
 	remain   int64 // bytes still outstanding
 	attempts int
 	fixed    bool // destination is registered: prep via PrepReadFixed
@@ -212,21 +270,15 @@ type ioReq struct {
 	devBytes int64  // device bytes delivered for this request so far
 }
 
-// NewWorker creates worker `id` with its own ring (and, when the fixed
-// knob is active, its own registered arena). Distinct ids sample
+// NewWorker creates worker `id` with its own edge ring (and, when the
+// fixed knob is active, its own registered arena). Distinct ids sample
 // independent streams; equal (Seed, id) pairs sample bit-identically.
 func (s *Sampler) NewWorker(id int) (*Worker, error) {
 	w := &Worker{
 		s:     s,
 		id:    id,
 		rng:   sample.NewRNG(sample.Mix(s.cfg.Seed, uint64(id))),
-		align: s.ds.DirectAlign(),
 		depth: s.cfg.Depth,
-	}
-	opts := uring.Options{
-		Entries:      s.cfg.RingSize,
-		RegisterFile: s.active.regFiles,
-		SQPoll:       s.active.sqpoll,
 	}
 	if s.active.fixed {
 		arenaBytes := s.cfg.ArenaBytes
@@ -236,53 +288,128 @@ func (s *Sampler) NewWorker(id int) (*Worker, error) {
 		// 4096-aligned so arena-backed slices satisfy any O_DIRECT
 		// granularity the dataset probe settled on.
 		w.arena = storage.AlignedSlice(int(arenaBytes), 4096)
+	}
+	ring, err := w.openRing(s.ds.File())
+	if err != nil {
+		return nil, err
+	}
+	w.edge = rio{
+		w: w, ring: ring,
+		align:      s.ds.DirectAlign(),
+		entryBytes: storage.EntryBytes,
+		reads:      &w.stats.Reads,
+		bytesRead:  &w.stats.BytesRead,
+	}
+	w.edge.initSlots()
+	w.stats.ActiveFixed = s.active.fixed
+	w.stats.ActiveRegFiles = s.active.regFiles
+	w.stats.ActiveSQPoll = s.active.sqpoll
+	w.stats.ActiveODirect = w.edge.align > 0
+	return w, nil
+}
+
+// openRing builds one worker ring over f with the sampler's resolved
+// options (arena registration, registered file, SQPOLL) and applies the
+// WrapRing hook. Used for the edge ring at construction and the feature
+// ring on first feature fetch.
+func (w *Worker) openRing(f *os.File) (uring.Ring, error) {
+	s := w.s
+	opts := uring.Options{
+		Entries:      s.cfg.RingSize,
+		RegisterFile: s.active.regFiles,
+		SQPoll:       s.active.sqpoll,
+	}
+	if w.arena != nil {
 		opts.FixedBuffers = [][]byte{w.arena}
 	}
-	ring, err := uring.NewWith(s.backend, s.ds.File(), opts)
+	ring, err := uring.NewWith(s.backend, f, opts)
 	if err != nil {
 		return nil, err
 	}
 	if s.cfg.WrapRing != nil {
-		ring, err = s.cfg.WrapRing(ring, id)
+		ring, err = s.cfg.WrapRing(ring, w.id)
 		if err != nil {
 			ring.Close()
-			return nil, fmt.Errorf("core: wrap worker %d ring: %w", id, err)
+			return nil, fmt.Errorf("core: wrap worker %d ring: %w", w.id, err)
 		}
 	}
-	w.ring = ring
-	if w.align > 0 && w.arena != nil {
-		// Pre-partition the arena into O_DIRECT scratch chunks; the
-		// arena then serves windows instead of layer buffers.
-		for off := 0; off+directChunkBytes <= len(w.arena); off += directChunkBytes {
-			w.dslots = append(w.dslots, dslot{buf: w.arena[off : off+directChunkBytes], fixed: true})
-		}
-	}
-	w.stats.ActiveFixed = s.active.fixed
-	w.stats.ActiveRegFiles = s.active.regFiles
-	w.stats.ActiveSQPoll = s.active.sqpoll
-	w.stats.ActiveODirect = w.align > 0
-	return w, nil
+	return ring, nil
 }
 
-// Close releases the worker's ring.
-func (w *Worker) Close() error { return w.ring.Close() }
+// initSlots pre-partitions the worker arena into O_DIRECT scratch
+// chunks for this driver; the arena then serves windows instead of
+// stage buffers. No-op for buffered handles.
+func (r *rio) initSlots() {
+	w := r.w
+	if r.align == 0 || w.arena == nil {
+		return
+	}
+	for off := 0; off+directChunkBytes <= len(w.arena); off += directChunkBytes {
+		r.dslots = append(r.dslots, dslot{buf: w.arena[off : off+directChunkBytes], fixed: true})
+	}
+}
+
+// ensureFeat lazily opens the worker's feature ring. Lazy so workers on
+// featureful datasets cost nothing extra until a batch actually wants
+// features.
+func (w *Worker) ensureFeat() error {
+	if w.feat.ring != nil {
+		return nil
+	}
+	ds := w.s.ds
+	if !ds.HasFeatures() {
+		return fmt.Errorf("core: dataset %s has no feature file", ds.Dir())
+	}
+	ring, err := w.openRing(ds.FeatureFile())
+	if err != nil {
+		return fmt.Errorf("core: worker %d feature ring: %w", w.id, err)
+	}
+	w.feat = rio{
+		w: w, ring: ring,
+		align:      ds.FeatureAlign(),
+		entryBytes: ds.FeatureStride(),
+		reads:      &w.stats.FeatReads,
+		bytesRead:  &w.stats.FeatBytesRead,
+	}
+	w.feat.initSlots()
+	if w.feat.align > 0 {
+		w.stats.ActiveODirect = true
+	}
+	return nil
+}
+
+// Close releases the worker's rings.
+func (w *Worker) Close() error {
+	err := w.edge.ring.Close()
+	if w.feat.ring != nil {
+		if ferr := w.feat.ring.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
 
 // IOStats returns the worker's accumulated ring-level I/O counters,
-// with the ring's own syscall counters folded in when the backend
+// with each ring's own syscall counters folded in when the backend
 // reports them.
 func (w *Worker) IOStats() IOStats {
 	st := w.stats
-	if sr, ok := w.ring.(uring.SyscallReporter); ok {
-		sys := sr.Syscalls()
-		st.SubmitSyscalls = sys.Submits
-		st.WaitSyscalls = sys.Waits
+	for _, ring := range []uring.Ring{w.edge.ring, w.feat.ring} {
+		if ring == nil {
+			continue
+		}
+		if sr, ok := ring.(uring.SyscallReporter); ok {
+			sys := sr.Syscalls()
+			st.SubmitSyscalls += sys.Submits
+			st.WaitSyscalls += sys.Waits
+		}
 	}
 	return st
 }
 
-// Broken reports whether the worker's ring could not be proven empty
-// after a failed batch (see ErrWorkerBroken). Pools that lease workers
-// across requests use it to retire a worker eagerly instead of
+// Broken reports whether one of the worker's rings could not be proven
+// empty after a failed batch (see ErrWorkerBroken). Pools that lease
+// workers across requests use it to retire a worker eagerly instead of
 // discovering the refusal on the next SampleBatch.
 func (w *Worker) Broken() bool { return w.broken }
 
@@ -294,7 +421,7 @@ func (w *Worker) Broken() bool { return w.broken }
 // worker's rolling per-(Seed, id) stream.
 func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error) {
 	w.rng.Reseed(seed)
-	return w.sampleBatch(targets, w.s.cfg.Fanouts)
+	return w.sampleBatch(targets, w.s.cfg.Fanouts, w.s.cfg.FetchFeatures)
 }
 
 // SampleBatchFanouts reseeds the RNG and samples one mini-batch with
@@ -304,16 +431,36 @@ func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error
 // pure function of (dataset, targets, fanouts, seed), independent of
 // what the worker ran before.
 func (w *Worker) SampleBatchFanouts(targets []uint32, fanouts []int, seed uint64) (*Batch, error) {
-	if len(fanouts) == 0 {
+	return w.SampleBatchOpts(targets, BatchOpts{Fanouts: fanouts, Seed: seed})
+}
+
+// BatchOpts parameterizes one SampleBatchOpts call.
+type BatchOpts struct {
+	// Fanouts overrides the engine config's per-layer sample counts.
+	// Must be non-empty.
+	Fanouts []int
+	// Seed reseeds the worker RNG before sampling (see
+	// SampleBatchFanouts).
+	Seed uint64
+	// Features runs the feature stage for this batch even when
+	// Config.FetchFeatures is off — the serving layer's per-request
+	// switch.
+	Features bool
+}
+
+// SampleBatchOpts is SampleBatchFanouts with the full option set,
+// including a per-call feature-stage switch.
+func (w *Worker) SampleBatchOpts(targets []uint32, o BatchOpts) (*Batch, error) {
+	if len(o.Fanouts) == 0 {
 		return nil, fmt.Errorf("core: sample batch needs at least one fanout layer")
 	}
-	for i, f := range fanouts {
+	for i, f := range o.Fanouts {
 		if f <= 0 {
 			return nil, fmt.Errorf("core: fanout[%d] = %d must be positive", i, f)
 		}
 	}
-	w.rng.Reseed(seed)
-	return w.sampleBatch(targets, fanouts)
+	w.rng.Reseed(o.Seed)
+	return w.sampleBatch(targets, o.Fanouts, o.Features || w.s.cfg.FetchFeatures)
 }
 
 // SampleBatch samples the configured fanout layers for one mini-batch
@@ -321,10 +468,10 @@ func (w *Worker) SampleBatchFanouts(targets []uint32, fanouts []int, seed uint64
 // decisions are made before any I/O is issued; what crosses the
 // storage boundary depends on the config's OffsetSampling switch.
 func (w *Worker) SampleBatch(targets []uint32) (*Batch, error) {
-	return w.sampleBatch(targets, w.s.cfg.Fanouts)
+	return w.sampleBatch(targets, w.s.cfg.Fanouts, w.s.cfg.FetchFeatures)
 }
 
-func (w *Worker) sampleBatch(targets []uint32, fanouts []int) (*Batch, error) {
+func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool) (*Batch, error) {
 	if w.broken {
 		return nil, fmt.Errorf("core: worker %d: %w", w.id, ErrWorkerBroken)
 	}
@@ -347,6 +494,11 @@ func (w *Worker) sampleBatch(targets []uint32, fanouts []int) (*Batch, error) {
 		// targets.
 		w.gathered = append(w.gathered[:0], layer.Neighbors...)
 		w.frontier = append(w.frontier[:0], sample.SortDedup(w.gathered)...)
+	}
+	if features {
+		if err := w.fetchBatchFeatures(batch); err != nil {
+			return nil, err
+		}
 	}
 	return batch, nil
 }
@@ -411,9 +563,9 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 		}
 	}
 	layer.Starts[len(w.frontier)] = total
-	w.sizeLayerBuf(total * storage.EntryBytes)
+	w.sizeBuf(total*storage.EntryBytes, w.edge.align)
 	w.copyCached()
-	if err := w.issue(w.runs, w.buf); err != nil {
+	if err := w.edge.issue(w.runs, w.buf); err != nil {
 		return err
 	}
 	// Runs were planned in frontier order with sequential buffer
@@ -472,9 +624,9 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 		listBytes += int64(deg) * storage.EntryBytes
 	}
 	layer.Starts[len(w.frontier)] = total
-	w.sizeLayerBuf(listBytes)
+	w.sizeBuf(listBytes, w.edge.align)
 	w.copyCached()
-	if err := w.issue(w.runs, w.buf); err != nil {
+	if err := w.edge.issue(w.runs, w.buf); err != nil {
 		return err
 	}
 	layer.Neighbors = make([]uint32, 0, total)
@@ -491,7 +643,95 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 	return nil
 }
 
-// issue drives the planned reads through the worker's ring. With the
+// fetchBatchFeatures runs the post-draw feature stage: collect the
+// batch's node union (layer-0 targets plus every layer's sampled
+// neighbors — deeper layers' targets are subsets of earlier neighbors),
+// sort+dedup it, and fetch one vector per node through the feature
+// ring. Runs strictly after all sampling layers, so it can never
+// perturb the sampled node set.
+func (w *Worker) fetchBatchFeatures(b *Batch) error {
+	w.featNodes = w.featNodes[:0]
+	for li := range b.Layers {
+		if li == 0 {
+			w.featNodes = append(w.featNodes, b.Layers[li].Targets...)
+		}
+		w.featNodes = append(w.featNodes, b.Layers[li].Neighbors...)
+	}
+	b.FeatNodes = append([]uint32(nil), sample.SortDedup(w.featNodes)...)
+	feats, err := w.featuresFor(b.FeatNodes)
+	if err != nil {
+		return err
+	}
+	b.Features = feats
+	b.FeatureDim = w.s.ds.FeatureDim()
+	return nil
+}
+
+// FetchFeatures reads the feature vectors of the given nodes through
+// the worker's feature ring and returns them back to back in input
+// order (duplicates allowed, one stride-sized record per input entry).
+// Like SampleBatch it refuses a broken worker.
+func (w *Worker) FetchFeatures(nodes []uint32) ([]byte, error) {
+	if w.broken {
+		return nil, fmt.Errorf("core: worker %d: %w", w.id, ErrWorkerBroken)
+	}
+	return w.featuresFor(nodes)
+}
+
+// featuresFor plans and issues the feature reads for nodes: cached
+// vectors are served from the feature cache, the rest are coalesced
+// into runs of file-adjacent records — subject to the same
+// file-AND-buffer adjacency rule as the edge path, because a cache hit
+// advances the buffer position without appending a run — and issued
+// through the feature rio with full retry/quarantine handling.
+func (w *Worker) featuresFor(nodes []uint32) ([]byte, error) {
+	ds := w.s.ds
+	if !ds.HasFeatures() {
+		return nil, fmt.Errorf("core: dataset %s has no feature file", ds.Dir())
+	}
+	if err := w.ensureFeat(); err != nil {
+		return nil, err
+	}
+	stride := w.feat.entryBytes
+	numNodes := ds.NumNodes()
+	hot := w.s.featHot
+	w.runs = w.runs[:0]
+	w.cachedPicks = w.cachedPicks[:0]
+	var total int64
+	for _, v := range nodes {
+		if int64(v) >= numNodes {
+			return nil, fmt.Errorf("core: feature fetch for node %d outside [0,%d)", v, numNodes)
+		}
+		if fb := hot.Lookup(v); fb != nil {
+			w.cachedPicks = append(w.cachedPicks, cachedPick{bufPos: total * stride, src: fb})
+			w.stats.FeatCacheHits++
+			w.stats.FeatCacheBytes += stride
+			total++
+			continue
+		}
+		if hot != nil {
+			w.stats.FeatCacheMisses++
+		}
+		if n := len(w.runs); n > 0 &&
+			w.runs[n-1].entryStart+int64(w.runs[n-1].entries) == int64(v) &&
+			w.runs[n-1].bufPos+int64(w.runs[n-1].entries)*stride == total*stride {
+			w.runs[n-1].entries++
+		} else {
+			w.runs = append(w.runs, ioRun{entryStart: int64(v), entries: 1, bufPos: total * stride})
+		}
+		total++
+	}
+	w.sizeBuf(total*stride, w.feat.align)
+	w.copyCached()
+	if err := w.feat.issue(w.runs, w.buf); err != nil {
+		return nil, err
+	}
+	out := make([]byte, total*stride)
+	copy(out, w.buf[:total*stride])
+	return out, nil
+}
+
+// issue drives the planned reads through this driver's ring. With the
 // asynchronous pipeline (paper Fig 3b) it keeps preparing and
 // submitting further requests while earlier completions drain; the
 // synchronous ablation waits for every in-flight request before
@@ -500,48 +740,58 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 // Transient results are absorbed here rather than failing the batch:
 // -EINTR/-EAGAIN resubmit the request verbatim and a short read
 // resubmits exactly the remaining byte range (short-read prefixes are
-// kept — they may split an entry mid-way, which byte-granular
-// resubmission handles). Each request has a bounded retry budget
-// (Config.MaxIORetries); exhaustion, or any non-retryable errno,
+// kept — they may split an entry or a feature vector mid-way, which
+// byte-granular resubmission handles). Each request has a bounded retry
+// budget (Config.MaxIORetries); exhaustion, or any non-retryable errno,
 // surfaces as a structured *IOError.
 //
 // A failed batch may leave requests in flight; they are quarantined
-// here — their completions drained and discarded — before the error is
-// surfaced, because a stale CQE harvested by the NEXT batch would be
-// routed by its ID into that batch's request table: silent buffer and
-// accounting corruption. If the drain itself fails the worker is
-// marked broken and refuses further batches.
-func (w *Worker) issue(runs []ioRun, buf []byte) error {
-	err := w.issueReads(runs, buf)
+// here — their completions drained and discarded, on BOTH of the
+// worker's rings — before the error is surfaced, because a stale CQE
+// harvested by the NEXT batch would be routed by its ID into that
+// batch's request table: silent buffer and accounting corruption. If
+// the drain itself fails the worker is marked broken and refuses
+// further batches.
+func (r *rio) issue(runs []ioRun, buf []byte) error {
+	err := r.issueReads(runs, buf)
 	if err != nil {
-		w.quarantine()
+		r.w.quarantine()
 	}
 	return err
 }
 
-// quarantine harvests and discards the completions of requests still
-// in flight after a failed batch. A ring that errors, or stops
-// producing completions it owes, cannot be proven empty — the worker
-// is marked broken so SampleBatch refuses to reuse it.
+// quarantine harvests and discards the completions of requests still in
+// flight after a failed batch, on both rings. A ring that errors, or
+// stops producing completions it owes, cannot be proven empty — the
+// worker is marked broken so SampleBatch refuses to reuse it.
 func (w *Worker) quarantine() {
-	for w.inflight > 0 {
-		cqes, err := w.ring.Wait(w.inflight)
+	w.edge.drain()
+	w.feat.drain()
+}
+
+// drain empties this driver's in-flight window (see quarantine).
+func (r *rio) drain() {
+	if r.ring == nil {
+		return
+	}
+	for r.inflight > 0 {
+		cqes, err := r.ring.Wait(r.inflight)
 		if err != nil || len(cqes) == 0 {
-			w.ringFailed = true
+			r.ringFailed = true
 			break
 		}
-		w.inflight -= len(cqes)
-		w.stats.StaleDrained += int64(len(cqes))
+		r.inflight -= len(cqes)
+		r.w.stats.StaleDrained += int64(len(cqes))
 	}
-	if w.ringFailed {
-		w.broken = true
+	if r.ringFailed {
+		r.w.broken = true
 	}
 }
 
 // issueReads is issue's submission/completion loop. On error return,
-// w.inflight counts exactly the requests still in flight in the ring
+// r.inflight counts exactly the requests still in flight in the ring
 // (already-harvested completions are accounted before processing), and
-// w.ringFailed records whether the ring itself failed — the state
+// r.ringFailed records whether the ring itself failed — the state
 // quarantine needs to clean up safely.
 //
 // Submission is deep by default: each pass stages every request the
@@ -552,29 +802,30 @@ func (w *Worker) quarantine() {
 // in-flight window in one blocking Wait (reap-many) instead of waking
 // per completion; once everything is staged it degrades to min=1 so the
 // tail drains with maximum overlap.
-func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
+func (r *rio) issueReads(runs []ioRun, buf []byte) error {
+	w := r.w
 	async := w.s.cfg.AsyncPipeline
 	maxRetries := w.s.cfg.MaxIORetries
-	if cap(w.reqs) < len(runs) {
-		w.reqs = make([]ioReq, len(runs))
+	if cap(r.reqs) < len(runs) {
+		r.reqs = make([]ioReq, len(runs))
 	}
-	w.reqs = w.reqs[:len(runs)]
-	w.retryQ = w.retryQ[:0]
-	w.resetSlots()
+	r.reqs = r.reqs[:len(runs)]
+	r.retryQ = r.retryQ[:0]
+	r.resetSlots()
 	next, completed := 0, 0
 	for completed < len(runs) {
 		staged := 0
-		// Resubmissions first: their buffer ranges block layer decode.
-		for len(w.retryQ) > 0 && w.withinDepth(staged) {
-			if !w.prepReq(w.retryQ[0], buf) {
+		// Resubmissions first: their buffer ranges block stage decode.
+		for len(r.retryQ) > 0 && r.withinDepth(staged) {
+			if !r.prepReq(r.retryQ[0], buf) {
 				break
 			}
-			w.retryQ = w.retryQ[1:]
+			r.retryQ = r.retryQ[1:]
 			staged++
 		}
-		if len(w.retryQ) == 0 {
-			for next < len(runs) && w.withinDepth(staged) {
-				if !w.stageNew(next, runs, buf) {
+		if len(r.retryQ) == 0 {
+			for next < len(runs) && r.withinDepth(staged) {
+				if !r.stageNew(next, runs, buf) {
 					break
 				}
 				next++
@@ -582,33 +833,33 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 			}
 		}
 		if staged > 0 {
-			if _, err := w.ring.Submit(); err != nil {
+			if _, err := r.ring.Submit(); err != nil {
 				// Unknown how many staged requests were published; the
 				// ring cannot be proven empty again.
-				w.ringFailed = true
+				r.ringFailed = true
 				return err
 			}
-			w.inflight += staged
+			r.inflight += staged
 		}
 		min := 1
 		if !async {
-			min = w.inflight
-		} else if (len(w.retryQ) > 0 || next < len(runs)) && w.inflight > 1 {
+			min = r.inflight
+		} else if (len(r.retryQ) > 0 || next < len(runs)) && r.inflight > 1 {
 			// Saturated: more work wants in. Reap half the window in one
 			// blocking call so the refill batches are deep too.
-			min = w.inflight / 2
+			min = r.inflight / 2
 		}
-		cqes, err := w.ring.Wait(min)
+		cqes, err := r.ring.Wait(min)
 		if err != nil {
-			w.ringFailed = true
+			r.ringFailed = true
 			return err
 		}
 		// Everything Wait returned has left the ring, whether or not the
 		// loop below errors out mid-way — account for it up front so
 		// quarantine sees the true in-flight count.
-		w.inflight -= len(cqes)
+		r.inflight -= len(cqes)
 		for _, c := range cqes {
-			rq := &w.reqs[c.ID]
+			rq := &r.reqs[c.ID]
 			switch {
 			case c.Res < 0:
 				errno := syscall.Errno(-c.Res)
@@ -621,12 +872,12 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 				}
 				rq.attempts++
 				w.stats.Retries++
-				w.retryQ = append(w.retryQ, int(c.ID))
+				r.retryQ = append(r.retryQ, int(c.ID))
 			case int64(c.Res) > rq.remain:
 				return fmt.Errorf("core: overlong read at offset %d: got %d bytes, want %d",
 					rq.off, c.Res, rq.remain)
 			case rq.scratch != nil:
-				done, err := w.completeDirect(int(c.ID), rq, int64(c.Res), buf, maxRetries)
+				done, err := r.completeDirect(int(c.ID), rq, int64(c.Res), buf, maxRetries)
 				if err != nil {
 					return err
 				}
@@ -634,8 +885,8 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 					completed++
 				}
 			case int64(c.Res) == rq.remain:
-				w.stats.Reads++
-				w.stats.BytesRead += int64(c.Res)
+				*r.reads++
+				*r.bytesRead += int64(c.Res)
 				if rq.fixed {
 					w.stats.FixedReads++
 				}
@@ -644,7 +895,7 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 				// Short read: the prefix is valid — advance the request
 				// window and resubmit only the tail.
 				w.stats.ShortReads++
-				w.stats.BytesRead += int64(c.Res)
+				*r.bytesRead += int64(c.Res)
 				rq.off += int64(c.Res)
 				rq.bufPos += int64(c.Res)
 				rq.remain -= int64(c.Res)
@@ -653,17 +904,17 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 				}
 				rq.attempts++
 				w.stats.Retries++
-				w.retryQ = append(w.retryQ, int(c.ID))
+				r.retryQ = append(r.retryQ, int(c.ID))
 			}
 		}
 		// Stall guard: with nothing staged, nothing in flight and no
 		// completions drained, the next iteration would replay this one
 		// verbatim — a ring violating the never-refuse-while-idle
 		// contract must surface as an error, not an infinite spin.
-		if staged == 0 && w.inflight == 0 && len(cqes) == 0 {
-			w.ringFailed = true
+		if staged == 0 && r.inflight == 0 && len(cqes) == 0 {
+			r.ringFailed = true
 			return fmt.Errorf("core: %d of %d reads complete, %d awaiting retry: %w",
-				completed, len(runs), len(w.retryQ), ErrRingStalled)
+				completed, len(runs), len(r.retryQ), ErrRingStalled)
 		}
 	}
 	return nil
@@ -671,8 +922,8 @@ func (w *Worker) issueReads(runs []ioRun, buf []byte) error {
 
 // withinDepth reports whether one more request may be staged under the
 // configured in-flight cap.
-func (w *Worker) withinDepth(staged int) bool {
-	return w.depth <= 0 || w.inflight+staged < w.depth
+func (r *rio) withinDepth(staged int) bool {
+	return r.w.depth <= 0 || r.inflight+staged < r.w.depth
 }
 
 // stageNew initializes request id from its run and stages it. On the
@@ -680,26 +931,26 @@ func (w *Worker) withinDepth(staged int) bool {
 // into a scratch slot; the interior is copied out at completion. The
 // slot is released again if the ring refuses the prep, so re-staging
 // the same id later starts clean.
-func (w *Worker) stageNew(id int, runs []ioRun, buf []byte) bool {
-	r := &runs[id]
-	intOff := r.entryStart * storage.EntryBytes
-	intLen := int64(r.entries) * storage.EntryBytes
-	rq := &w.reqs[id]
-	if w.align == 0 {
-		*rq = ioReq{off: intOff, bufPos: r.bufPos, remain: intLen, fixed: w.bufFixed, slot: -1}
+func (r *rio) stageNew(id int, runs []ioRun, buf []byte) bool {
+	run := &runs[id]
+	intOff := run.entryStart * r.entryBytes
+	intLen := int64(run.entries) * r.entryBytes
+	rq := &r.reqs[id]
+	if r.align == 0 {
+		*rq = ioReq{off: intOff, bufPos: run.bufPos, remain: intLen, fixed: r.w.bufFixed, slot: -1}
 	} else {
-		lo := storage.AlignDown(intOff, w.align)
-		win := storage.AlignUp(intOff+intLen, w.align) - lo
-		slot, scratch, fixed := w.getSlot(int(win))
+		lo := storage.AlignDown(intOff, r.align)
+		win := storage.AlignUp(intOff+intLen, r.align) - lo
+		slot, scratch, fixed := r.getSlot(int(win))
 		*rq = ioReq{
 			off: lo, wStart: lo, remain: win,
-			bufPos: r.bufPos, intOff: intOff, intLen: intLen,
+			bufPos: run.bufPos, intOff: intOff, intLen: intLen,
 			scratch: scratch, slot: slot, fixed: fixed,
 		}
 	}
-	if !w.prepReq(id, buf) {
+	if !r.prepReq(id, buf) {
 		if rq.slot >= 0 {
-			w.putSlot(rq.slot)
+			r.putSlot(rq.slot)
 			rq.slot = -1
 		}
 		return false
@@ -708,10 +959,10 @@ func (w *Worker) stageNew(id int, runs []ioRun, buf []byte) bool {
 }
 
 // prepReq stages request id's outstanding byte range into the ring,
-// routing the destination (layer buffer or aligned scratch window) and
+// routing the destination (stage buffer or aligned scratch window) and
 // the prep flavor (fixed or plain) from the request state.
-func (w *Worker) prepReq(id int, buf []byte) bool {
-	rq := &w.reqs[id]
+func (r *rio) prepReq(id int, buf []byte) bool {
+	rq := &r.reqs[id]
 	var dst []byte
 	if rq.scratch != nil {
 		pos := rq.off - rq.wStart
@@ -720,9 +971,9 @@ func (w *Worker) prepReq(id int, buf []byte) bool {
 		dst = buf[rq.bufPos : rq.bufPos+rq.remain]
 	}
 	if rq.fixed {
-		return w.ring.PrepReadFixed(uint64(id), rq.off, dst, 0)
+		return r.ring.PrepReadFixed(uint64(id), rq.off, dst, 0)
 	}
-	return w.ring.PrepRead(uint64(id), rq.off, dst)
+	return r.ring.PrepRead(uint64(id), rq.off, dst)
 }
 
 // completeDirect handles a non-negative completion of an O_DIRECT
@@ -733,18 +984,19 @@ func (w *Worker) prepReq(id int, buf []byte) bool {
 // bytes uncovered resubmits from the progress rounded DOWN to the
 // alignment (re-reading the partial block) so the resumed offset stays
 // O_DIRECT-legal.
-func (w *Worker) completeDirect(id int, rq *ioReq, got int64, buf []byte, maxRetries int) (bool, error) {
+func (r *rio) completeDirect(id int, rq *ioReq, got int64, buf []byte, maxRetries int) (bool, error) {
+	w := r.w
 	rq.devBytes += got
 	covered := rq.off + got // absolute file position delivered through
 	if covered >= rq.intOff+rq.intLen {
 		copy(buf[rq.bufPos:rq.bufPos+rq.intLen], rq.scratch[rq.intOff-rq.wStart:])
-		w.stats.Reads++
-		w.stats.BytesRead += rq.intLen
+		*r.reads++
+		*r.bytesRead += rq.intLen
 		w.stats.AlignSlackBytes += rq.devBytes - rq.intLen
 		if rq.fixed {
 			w.stats.FixedReads++
 		}
-		w.putSlot(rq.slot)
+		r.putSlot(rq.slot)
 		rq.slot = -1
 		rq.scratch = nil
 		return true, nil
@@ -758,19 +1010,19 @@ func (w *Worker) completeDirect(id int, rq *ioReq, got int64, buf []byte, maxRet
 	rq.attempts++
 	w.stats.Retries++
 	wEnd := rq.wStart + int64(len(rq.scratch))
-	rq.off = storage.AlignDown(covered, w.align)
+	rq.off = storage.AlignDown(covered, r.align)
 	rq.remain = wEnd - rq.off
-	w.retryQ = append(w.retryQ, id)
+	r.retryQ = append(r.retryQ, id)
 	return false, nil
 }
 
-// sizeLayerBuf points w.buf at a layer buffer of n bytes: the
-// registered arena when the fixed knob is on, the buffer fits, and the
-// dataset is buffered (O_DIRECT layers read through scratch windows
+// sizeBuf points w.buf at a stage buffer of n bytes: the registered
+// arena when the fixed knob is on, the buffer fits, and the issuing
+// file handle is buffered (O_DIRECT stages read through scratch windows
 // instead, and the arena serves those); otherwise a heap workspace,
 // with plain reads.
-func (w *Worker) sizeLayerBuf(n int64) {
-	if w.arena != nil && w.align == 0 && n <= int64(len(w.arena)) {
+func (w *Worker) sizeBuf(n int64, align int) {
+	if w.arena != nil && align == 0 && n <= int64(len(w.arena)) {
 		w.buf = w.arena[:n]
 		w.bufFixed = true
 		return
@@ -784,17 +1036,17 @@ func (w *Worker) sizeLayerBuf(n int64) {
 // Called at the top of each issue pass: any slot still marked held at
 // that point belonged to a failed batch whose in-flight requests were
 // quarantined, so reclaiming wholesale is safe.
-func (w *Worker) resetSlots() {
-	if w.align == 0 {
+func (r *rio) resetSlots() {
+	if r.align == 0 {
 		return
 	}
-	w.freeFixed = w.freeFixed[:0]
-	w.freeHeap = w.freeHeap[:0]
-	for i := range w.dslots {
-		if w.dslots[i].fixed {
-			w.freeFixed = append(w.freeFixed, i)
+	r.freeFixed = r.freeFixed[:0]
+	r.freeHeap = r.freeHeap[:0]
+	for i := range r.dslots {
+		if r.dslots[i].fixed {
+			r.freeFixed = append(r.freeFixed, i)
 		} else {
-			w.freeHeap = append(w.freeHeap, i)
+			r.freeHeap = append(r.freeHeap, i)
 		}
 	}
 }
@@ -803,36 +1055,36 @@ func (w *Worker) resetSlots() {
 // preferring arena-backed (fixed) chunks. Heap slots grow to the
 // largest window they have carried and are reused; total slot count is
 // bounded by the in-flight cap, never the run count.
-func (w *Worker) getSlot(win int) (slot int, scratch []byte, fixed bool) {
-	if win <= directChunkBytes && len(w.freeFixed) > 0 {
-		slot = w.freeFixed[len(w.freeFixed)-1]
-		w.freeFixed = w.freeFixed[:len(w.freeFixed)-1]
-		return slot, w.dslots[slot].buf[:win], true
+func (r *rio) getSlot(win int) (slot int, scratch []byte, fixed bool) {
+	if win <= directChunkBytes && len(r.freeFixed) > 0 {
+		slot = r.freeFixed[len(r.freeFixed)-1]
+		r.freeFixed = r.freeFixed[:len(r.freeFixed)-1]
+		return slot, r.dslots[slot].buf[:win], true
 	}
-	if len(w.freeHeap) > 0 {
-		slot = w.freeHeap[len(w.freeHeap)-1]
-		w.freeHeap = w.freeHeap[:len(w.freeHeap)-1]
-		if len(w.dslots[slot].buf) < win {
-			w.dslots[slot].buf = storage.AlignedSlice(win, w.align)
+	if len(r.freeHeap) > 0 {
+		slot = r.freeHeap[len(r.freeHeap)-1]
+		r.freeHeap = r.freeHeap[:len(r.freeHeap)-1]
+		if len(r.dslots[slot].buf) < win {
+			r.dslots[slot].buf = storage.AlignedSlice(win, r.align)
 		}
-		return slot, w.dslots[slot].buf[:win], false
+		return slot, r.dslots[slot].buf[:win], false
 	}
-	slot = len(w.dslots)
-	w.dslots = append(w.dslots, dslot{buf: storage.AlignedSlice(win, w.align)})
-	return slot, w.dslots[slot].buf[:win], false
+	slot = len(r.dslots)
+	r.dslots = append(r.dslots, dslot{buf: storage.AlignedSlice(win, r.align)})
+	return slot, r.dslots[slot].buf[:win], false
 }
 
 // putSlot returns a leased slot to its free list.
-func (w *Worker) putSlot(slot int) {
-	if w.dslots[slot].fixed {
-		w.freeFixed = append(w.freeFixed, slot)
+func (r *rio) putSlot(slot int) {
+	if r.dslots[slot].fixed {
+		r.freeFixed = append(r.freeFixed, slot)
 	} else {
-		w.freeHeap = append(w.freeHeap, slot)
+		r.freeHeap = append(r.freeHeap, slot)
 	}
 }
 
 // copyCached lands every cache-served byte range in the (now sized)
-// layer buffer. Cached ranges and planned runs are disjoint, so order
+// stage buffer. Cached ranges and planned runs are disjoint, so order
 // relative to issue does not matter.
 func (w *Worker) copyCached() {
 	for _, cp := range w.cachedPicks {

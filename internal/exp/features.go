@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// FeaturePoint is one memory budget of the feature-store ablation: a
+// fixed epoch workload sampled with the feature stage on, under a
+// growing hot-node feature cache budget. The tradeoff mirrors the
+// hot-neighbor sweep — pinned feature bytes buy device feature traffic
+// — but on the second budget axis and the second file.
+type FeaturePoint struct {
+	// BudgetBytes is the configured feature-cache budget;
+	// CacheNodes/CacheBytes are what the sampler actually pinned.
+	BudgetBytes int64
+	CacheNodes  int
+	CacheBytes  int64
+	Stats       core.EpochStats
+	// HitRate is FeatCacheHits/(FeatCacheHits+FeatCacheMisses); 0 when
+	// the cache is off or the epoch fetched no features.
+	HitRate float64
+	// Digest is the folded per-batch digest stream (feature payloads
+	// included); identical across every point of one sweep by
+	// construction — a mismatch aborts the sweep as a cache-visibility
+	// bug on the feature path.
+	Digest uint64
+}
+
+// FeatureSweep runs one fixed epoch workload with the feature-fetch
+// stage enabled at each feature-cache budget (which must be
+// non-decreasing, so the degree-first prefix rule's superset guarantee
+// applies point to point) and verifies the feature cache's two
+// contracts as it goes: every point reproduces the first point's
+// per-batch digest stream bit for bit — the cache may never change a
+// single feature byte — and device feature bytes never increase with
+// the budget. A violation surfaces as an error, not a data point.
+func FeatureSweep(ds *storage.Dataset, o Options, backend uring.Backend, budgets []int64, seed uint64) ([]FeaturePoint, error) {
+	if !ds.HasFeatures() {
+		return nil, fmt.Errorf("exp: feature sweep needs a dataset with a feature file")
+	}
+	if o.Targets <= 0 {
+		return nil, fmt.Errorf("exp: feature sweep needs positive target count, got %d", o.Targets)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("exp: feature sweep needs at least one budget")
+	}
+	for i := 1; i < len(budgets); i++ {
+		if budgets[i] < budgets[i-1] {
+			return nil, fmt.Errorf("exp: feature sweep budgets must be non-decreasing, got %d after %d",
+				budgets[i], budgets[i-1])
+		}
+	}
+	rng := sample.NewRNG(sample.Mix(seed, 0xfea75))
+	targets := make([]uint32, o.Targets)
+	for i := range targets {
+		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
+	}
+
+	var ref []uint64
+	prevDevice := int64(-1)
+	out := make([]FeaturePoint, 0, len(budgets))
+	for _, budget := range budgets {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.FetchFeatures = true
+		cfg.FeatureCacheBudgetBytes = budget
+		if o.BatchSize > 0 {
+			cfg.BatchSize = o.BatchSize
+		}
+		if o.Threads > 0 {
+			cfg.Threads = o.Threads
+		}
+		s, err := core.New(ds, cfg, backend)
+		if err != nil {
+			return nil, fmt.Errorf("exp: feature sweep at budget %d: %w", budget, err)
+		}
+		st, err := s.RunEpoch(targets, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exp: feature sweep at budget %d: %w", budget, err)
+		}
+		if ref == nil {
+			ref = st.Digests
+		} else {
+			if len(ref) != len(st.Digests) {
+				return nil, fmt.Errorf("exp: budget %d produced %d batches, reference has %d",
+					budget, len(st.Digests), len(ref))
+			}
+			for i := range ref {
+				if ref[i] != st.Digests[i] {
+					return nil, fmt.Errorf("exp: feature cache changed the payload: batch %d digest differs at budget %d (%#x vs %#x)",
+						i, budget, st.Digests[i], ref[i])
+				}
+			}
+		}
+		if prevDevice >= 0 && st.IO.FeatBytesRead > prevDevice {
+			return nil, fmt.Errorf("exp: device feature bytes grew with the cache budget: %d bytes at budget %d, %d at the previous point",
+				st.IO.FeatBytesRead, budget, prevDevice)
+		}
+		prevDevice = st.IO.FeatBytesRead
+		var digest uint64
+		for _, d := range st.Digests {
+			digest = foldDigest(digest, d)
+		}
+		p := FeaturePoint{BudgetBytes: budget, Stats: *st, Digest: digest}
+		p.CacheNodes, p.CacheBytes = s.FeatureCacheInfo()
+		if lookups := st.IO.FeatCacheHits + st.IO.FeatCacheMisses; lookups > 0 {
+			p.HitRate = float64(st.IO.FeatCacheHits) / float64(lookups)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

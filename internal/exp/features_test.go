@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"testing"
+
+	"ringsampler/internal/gen"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// TestFeatureSweepAblation: the feature-store budget sweep on a small
+// featureful graph. FeatureSweep itself enforces digest invariance and
+// monotone non-increasing device feature bytes; this test checks the
+// endpoints — budget 0 serves everything from the device, and an
+// unlimited budget pins every node and reaches zero device feature
+// traffic.
+func TestFeatureSweepAblation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := gen.GenerateWith(dir, "feat", "rmat", 3_000, 40_000, 5, gen.Options{FeatureDim: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	o := Options{Targets: 256, BatchSize: 64, Threads: 2}
+	budgets := []int64{0, 32 << 10, 128 << 10, 1 << 30}
+	points, err := FeatureSweep(ds, o, uring.BackendPool, budgets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(budgets) {
+		t.Fatalf("got %d points, want %d", len(points), len(budgets))
+	}
+	for _, pt := range points {
+		t.Logf("budget %d: pinned %d nodes / %d B, hit rate %.3f, device feature bytes %d",
+			pt.BudgetBytes, pt.CacheNodes, pt.CacheBytes, pt.HitRate, pt.Stats.IO.FeatBytesRead)
+		if pt.Stats.Sampled == 0 || pt.Stats.Batches != 4 {
+			t.Fatalf("budget %d: degenerate stats %+v", pt.BudgetBytes, pt.Stats)
+		}
+		if pt.Digest != points[0].Digest {
+			t.Fatalf("folded digest differs across budgets: %#x vs %#x", pt.Digest, points[0].Digest)
+		}
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.CacheNodes != 0 || first.Stats.IO.FeatCacheHits != 0 || first.Stats.IO.FeatCacheBytes != 0 {
+		t.Fatalf("budget 0 point has feature-cache traffic: %+v", first.Stats.IO)
+	}
+	if first.Stats.IO.FeatBytesRead == 0 {
+		t.Fatal("budget 0 point read no feature bytes — the stage did not run")
+	}
+	if last.CacheNodes != int(ds.NumNodes()) {
+		t.Fatalf("unlimited budget pinned %d of %d nodes", last.CacheNodes, ds.NumNodes())
+	}
+	if last.Stats.IO.FeatBytesRead != 0 || last.HitRate != 1 {
+		t.Fatalf("unlimited-budget point still touched the device: %+v", last.Stats.IO)
+	}
+	// The feature cache must leave edge traffic alone: adjacency device
+	// bytes are identical at every point.
+	for _, pt := range points {
+		if pt.Stats.IO.BytesRead != first.Stats.IO.BytesRead {
+			t.Fatalf("feature budget changed EDGE device bytes: %d vs %d",
+				pt.Stats.IO.BytesRead, first.Stats.IO.BytesRead)
+		}
+	}
+
+	if _, err := FeatureSweep(ds, o, uring.BackendPool, []int64{1 << 20, 0}, 7); err == nil {
+		t.Fatal("decreasing budget list accepted")
+	}
+
+	// An edge-only dataset cannot run the feature sweep.
+	plainDir := t.TempDir()
+	if _, err := gen.Generate(plainDir, "plain", "rmat", 500, 4_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := storage.Open(plainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := FeatureSweep(plain, o, uring.BackendPool, budgets, 7); err == nil {
+		t.Fatal("edge-only dataset accepted")
+	}
+}

@@ -9,13 +9,31 @@ import (
 	"ringsampler/internal/storage"
 )
 
+// Options selects the optional dataset components Generate can emit
+// beyond the edge file and offset index.
+type Options struct {
+	// FeatureDim, when positive, emits features.bin: one FeatureDim-wide
+	// f32 vector per node, deterministic per (seed, node), with its size
+	// and FNV-1a checksum recorded in the manifest.
+	FeatureDim int
+}
+
 // Generate builds a complete on-disk dataset in dir: stream a synthetic
 // graph (kind "rmat" or "uniform"), externally sort it by source, and
 // write the edge file + offset index + manifest. The whole pipeline is
 // streaming, so graphs larger than memory generate fine. Deterministic
 // for a fixed (kind, nodes, edges, seed).
 func Generate(dir, name, kind string, nodes, edges int64, seed uint64) (graph.Manifest, error) {
+	return GenerateWith(dir, name, kind, nodes, edges, seed, Options{})
+}
+
+// GenerateWith is Generate with explicit component options (e.g. a node
+// feature file).
+func GenerateWith(dir, name, kind string, nodes, edges int64, seed uint64, o Options) (graph.Manifest, error) {
 	var man graph.Manifest
+	if o.FeatureDim < 0 {
+		return man, fmt.Errorf("gen: feature dim %d must be non-negative", o.FeatureDim)
+	}
 	tmpDir := filepath.Join(dir, ".extsort")
 	sorter, err := graph.NewExternalSorter(tmpDir, 1<<20)
 	if err != nil {
@@ -52,6 +70,15 @@ func Generate(dir, name, kind string, nodes, edges int64, seed uint64) (graph.Ma
 		return w.Add(e.Src, e.Dst)
 	}); err != nil {
 		return man, err
+	}
+	if o.FeatureDim > 0 {
+		featBytes, sum, err := writeFeatures(dir, nodes, o.FeatureDim, seed)
+		if err != nil {
+			return man, err
+		}
+		if err := w.SetFeatures(o.FeatureDim, featBytes, sum); err != nil {
+			return man, err
+		}
 	}
 	return w.Finish()
 }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ringsampler/internal/storage"
 )
 
 // TestRMATDeterminism: the same (nodes, edges, seed, params) streams
@@ -56,6 +58,72 @@ func TestGenerateByteIdentical(t *testing.T) {
 	}
 	if bytes.Equal(read(d1, "edges.dat"), read(d3, "edges.dat")) {
 		t.Fatal("different seeds produced identical edge files")
+	}
+}
+
+// TestGenerateWithFeatures: generation with a feature dim emits a
+// deterministic features.bin (byte-identical across runs, divergent
+// across seeds) whose size, manifest fields, and checksum all pass
+// storage's open-time validation.
+func TestGenerateWithFeatures(t *testing.T) {
+	const dim = 5
+	read := func(dir, name string) []byte {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	build := func(seed uint64) string {
+		dir := t.TempDir()
+		if _, err := GenerateWith(dir, "det", "rmat", 300, 2500, seed, Options{FeatureDim: dim}); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	d1, d2, d3 := build(11), build(11), build(12)
+	f1 := read(d1, storage.FeaturesFile)
+	if want := int64(300 * dim * storage.FeatureElemBytes); int64(len(f1)) != want {
+		t.Fatalf("features.bin is %d bytes, want %d", len(f1), want)
+	}
+	if !bytes.Equal(f1, read(d2, storage.FeaturesFile)) {
+		t.Fatal("features.bin differs across runs with the same seed")
+	}
+	if bytes.Equal(f1, read(d3, storage.FeaturesFile)) {
+		t.Fatal("different seeds produced identical feature files")
+	}
+	ds, err := storage.Open(d1)
+	if err != nil {
+		t.Fatalf("generated featureful dataset fails open-time validation: %v", err)
+	}
+	defer ds.Close()
+	if !ds.HasFeatures() || ds.FeatureDim() != dim {
+		t.Fatalf("opened dataset: has=%v dim=%d, want features with dim %d",
+			ds.HasFeatures(), ds.FeatureDim(), dim)
+	}
+	if _, err := GenerateWith(t.TempDir(), "bad", "rmat", 10, 20, 1, Options{FeatureDim: -1}); err == nil {
+		t.Fatal("GenerateWith accepted a negative feature dim")
+	}
+}
+
+// TestGenerateDefaultEdgeOnly: the plain Generate path emits no feature
+// file and leaves the manifest's feature fields zero, so pre-feature
+// callers are untouched.
+func TestGenerateDefaultEdgeOnly(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Generate(dir, "plain", "rmat", 200, 1500, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, storage.FeaturesFile)); !os.IsNotExist(err) {
+		t.Fatalf("plain Generate left a feature file (stat err %v)", err)
+	}
+	ds, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.HasFeatures() {
+		t.Fatal("plain Generate produced a featureful dataset")
 	}
 }
 

@@ -21,13 +21,22 @@ type Edge struct {
 // Manifest describes an on-disk dataset. CreatedAt is left at the zero
 // time by the deterministic build path so that regenerating a dataset
 // with the same seed produces byte-identical files.
+//
+// The feature fields describe the optional fixed-stride node feature
+// file (features.bin): FeatureDim f32 values per node, FeatBytes total,
+// integrity-checked against FeatChecksum (FNV-1a 64, hex) at open. All
+// three are zero/empty for edge-only datasets, so pre-feature manifests
+// load unchanged.
 type Manifest struct {
-	Version   int       `json:"version"`
-	Name      string    `json:"name"`
-	NumNodes  int64     `json:"numNodes"`
-	NumEdges  int64     `json:"numEdges"`
-	BinBytes  int64     `json:"binBytes"`
-	CreatedAt time.Time `json:"createdAt"`
+	Version      int       `json:"version"`
+	Name         string    `json:"name"`
+	NumNodes     int64     `json:"numNodes"`
+	NumEdges     int64     `json:"numEdges"`
+	BinBytes     int64     `json:"binBytes"`
+	FeatureDim   int       `json:"featureDim,omitempty"`
+	FeatBytes    int64     `json:"featBytes,omitempty"`
+	FeatChecksum string    `json:"featChecksum,omitempty"`
+	CreatedAt    time.Time `json:"createdAt"`
 }
 
 // ManifestVersion is the current manifest schema version.

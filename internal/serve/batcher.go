@@ -15,13 +15,14 @@ import (
 // worker's RNG, so its samples are a pure function of (dataset,
 // targets, fanouts, seed) — never of what else rode the same batch.
 type job struct {
-	ctx     context.Context
-	targets []uint32
-	fanouts []int
-	seed    uint64
-	enq     time.Time
-	chunk   int
-	req     *request
+	ctx      context.Context
+	targets  []uint32
+	fanouts  []int
+	seed     uint64
+	features bool // run the feature stage for this chunk
+	enq      time.Time
+	chunk    int
+	req      *request
 }
 
 func (j *job) finish(b *core.Batch, err error) { j.req.jobDone(j.chunk, b, err) }

@@ -74,6 +74,7 @@ func sizeBounds() []int64 {
 type metrics struct {
 	// Admission / request lifecycle counters.
 	requests         atomic.Int64 // requests admitted past validation
+	featureRequests  atomic.Int64 // admitted requests that asked for features
 	responsesOK      atomic.Int64 // 200s served
 	rejectedFull     atomic.Int64 // 429: bounded queue was full
 	rejectedDraining atomic.Int64 // 503: server was draining
@@ -135,6 +136,7 @@ func writeHist(w io.Writer, name, help string, h *hist, scale float64) {
 // and retired ones — retirement never drops counters).
 func (m *metrics) write(w io.Writer, ioStats core.IOStats, workers, queueCap int) {
 	writeMetric(w, "ringsampler_serve_requests_total", "counter", "Requests admitted past validation.", m.requests.Load())
+	writeMetric(w, "ringsampler_serve_feature_requests_total", "counter", "Admitted requests that asked for feature payloads.", m.featureRequests.Load())
 	writeMetric(w, "ringsampler_serve_responses_ok_total", "counter", "Requests answered 200.", m.responsesOK.Load())
 	writeMetric(w, "ringsampler_serve_rejected_total", "counter", "Requests fast-failed 429 because the admission queue was full.", m.rejectedFull.Load())
 	writeMetric(w, "ringsampler_serve_rejected_draining_total", "counter", "Requests refused 503 while draining.", m.rejectedDraining.Load())
@@ -165,4 +167,9 @@ func (m *metrics) write(w io.Writer, ioStats core.IOStats, workers, queueCap int
 	writeMetric(w, "ringsampler_io_cache_hits_total", "counter", "Hot-neighbor cache hits.", ioStats.CacheHits)
 	writeMetric(w, "ringsampler_io_cache_misses_total", "counter", "Hot-neighbor cache misses.", ioStats.CacheMisses)
 	writeMetric(w, "ringsampler_io_cache_bytes_total", "counter", "Bytes served from the hot-neighbor cache.", ioStats.CacheBytes)
+	writeMetric(w, "ringsampler_io_feat_reads_total", "counter", "Feature-file ring reads completed in full.", ioStats.FeatReads)
+	writeMetric(w, "ringsampler_io_feat_bytes_read_total", "counter", "Feature bytes read from the device.", ioStats.FeatBytesRead)
+	writeMetric(w, "ringsampler_io_feat_cache_hits_total", "counter", "Hot-node feature cache hits.", ioStats.FeatCacheHits)
+	writeMetric(w, "ringsampler_io_feat_cache_misses_total", "counter", "Hot-node feature cache misses.", ioStats.FeatCacheMisses)
+	writeMetric(w, "ringsampler_io_feat_cache_bytes_total", "counter", "Feature bytes served from the cache.", ioStats.FeatCacheBytes)
 }

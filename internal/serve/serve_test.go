@@ -38,6 +38,25 @@ func testDataset(t *testing.T) *storage.Dataset {
 	return ds
 }
 
+// testFeatureDataset is testDataset plus a per-node f32 feature file,
+// for the feature-serving paths.
+const testFeatureDim = 6
+
+func testFeatureDataset(t *testing.T) *storage.Dataset {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := gen.GenerateWith(dir, "tiny", "rmat", 2_000, 30_000, 11,
+		gen.Options{FeatureDim: testFeatureDim}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	return ds
+}
+
 // startServer boots srv on a loopback listener and returns its base
 // URL. Shutdown is registered as cleanup (idempotent, so tests that
 // shut down explicitly are fine).
@@ -62,11 +81,18 @@ func startServer(t *testing.T, ds *storage.Dataset, cfg Config) (*Server, string
 
 func postSample(t *testing.T, client *http.Client, base string, req sampleRequest) (int, []byte) {
 	t.Helper()
+	return postSamplePath(t, client, base, "/v1/sample", req)
+}
+
+// postSamplePath posts to an explicit path (so tests can exercise the
+// ?features=true query-parameter form of the feature switch).
+func postSamplePath(t *testing.T, client *http.Client, base, path string, req sampleRequest) (int, []byte) {
+	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Post(base+"/v1/sample", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +131,11 @@ func referenceBatches(t *testing.T, ds *storage.Dataset, coreCfg core.Config, ba
 		if hi > len(req.Targets) {
 			hi = len(req.Targets)
 		}
-		b, err := w.SampleBatchFanouts(req.Targets[lo:hi], fanouts, sample.Mix(req.Seed, uint64(ci)))
+		b, err := w.SampleBatchOpts(req.Targets[lo:hi], core.BatchOpts{
+			Fanouts:  fanouts,
+			Seed:     sample.Mix(req.Seed, uint64(ci)),
+			Features: req.Features,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,6 +180,28 @@ func assertResponseMatches(t *testing.T, label string, data []byte, want []*core
 						label, bi, li, i, gl.Neighbors[i], wl.Neighbors[i])
 				}
 			}
+		}
+		if wb.FeatureDim > 0 {
+			// Feature payload: node union, dim, and raw f32 bytes must all
+			// be byte-identical to the direct core run.
+			if gb.FeatureDim != wb.FeatureDim {
+				t.Fatalf("%s: batch %d feature dim %d, want %d", label, bi, gb.FeatureDim, wb.FeatureDim)
+			}
+			if len(gb.FeatNodes) != len(wb.FeatNodes) {
+				t.Fatalf("%s: batch %d has %d feature nodes, want %d", label, bi, len(gb.FeatNodes), len(wb.FeatNodes))
+			}
+			for i := range wb.FeatNodes {
+				if gb.FeatNodes[i] != wb.FeatNodes[i] {
+					t.Fatalf("%s: batch %d feature node %d differs: %d vs %d",
+						label, bi, i, gb.FeatNodes[i], wb.FeatNodes[i])
+				}
+			}
+			if !bytes.Equal(gb.Features, wb.Features) {
+				t.Fatalf("%s: batch %d feature payload differs from the reference (%d vs %d bytes)",
+					label, bi, len(gb.Features), len(wb.Features))
+			}
+		} else if gb.FeatureDim != 0 || len(gb.FeatNodes) != 0 || len(gb.Features) != 0 {
+			t.Fatalf("%s: batch %d carries a feature payload the reference does not", label, bi)
 		}
 		d := wb.Digest()
 		if gb.Digest != fmt.Sprintf("%016x", d) {
@@ -277,6 +329,175 @@ func TestServeE2EDeterminism(t *testing.T) {
 	}
 }
 
+// TestServeE2EFeatureDeterminism is the feature-store serving contract:
+// 80 concurrent mixed-fanout requests against a 4-worker server with a
+// live hot-node feature cache, most asking for features (half through
+// the body field, half through the ?features=true query parameter) and
+// every third one plain — so feature and non-feature chunks coalesce
+// into the same micro-batches. Every response, feature payload bytes
+// included, must be byte-identical to a direct single-threaded core run
+// of the same request.
+func TestServeE2EFeatureDeterminism(t *testing.T) {
+	ds := testFeatureDataset(t)
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendPool
+	cfg.Core.Threads = 4
+	cfg.Core.BatchSize = 64
+	// A real cache budget: concurrent requests hit and miss the shared
+	// feature cache while the determinism contract must still hold.
+	cfg.Core.FeatureCacheBudgetBytes = 16 << 10
+	cfg.QueueDepth = 4096
+	cfg.BatchWindow = time.Millisecond
+	_, base := startServer(t, ds, cfg)
+
+	fanoutMixes := [][]int{nil, {5}, {10, 5}, {20, 15, 10}, {3, 3, 3}}
+	rng := sample.NewRNG(43)
+	const n = 80
+	reqs := make([]sampleRequest, n)
+	paths := make([]string, n)
+	featureCount := 0
+	for i := range reqs {
+		nt := 1 + int(rng.Uint32n(200)) // some requests span 4 chunks
+		targets := make([]uint32, nt)
+		for j := range targets {
+			targets[j] = rng.Uint32n(uint32(ds.NumNodes()))
+		}
+		reqs[i] = sampleRequest{
+			Targets: targets,
+			Fanouts: fanoutMixes[i%len(fanoutMixes)],
+			Seed:    uint64(2000 + i),
+		}
+		paths[i] = "/v1/sample"
+		if i%3 == 0 {
+			continue // plain request, coalesces with featureful neighbors
+		}
+		featureCount++
+		if i%2 == 0 {
+			reqs[i].Features = true
+		} else {
+			// Query-parameter form: the wire request body says nothing
+			// about features, but the reference must still produce them.
+			paths[i] = "/v1/sample?features=true"
+		}
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	type result struct {
+		status int
+		data   []byte
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, data := postSamplePath(t, client, base, paths[i], reqs[i])
+			results[i] = result{st, data}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.data)
+		}
+		ref := reqs[i]
+		if paths[i] != "/v1/sample" {
+			ref.Features = true
+		}
+		want := referenceBatches(t, ds, cfg.Core, cfg.Backend, ref, cfg.Core.BatchSize)
+		if ref.Features {
+			for bi, b := range want {
+				if b.FeatureDim != testFeatureDim || len(b.Features) == 0 {
+					t.Fatalf("reference for request %d batch %d has no feature payload", i, bi)
+				}
+			}
+		}
+		assertResponseMatches(t, fmt.Sprintf("request %d", i), r.data, want)
+	}
+
+	body := scrapeMetrics(t, client, base)
+	if got := metricValue(t, body, "ringsampler_serve_responses_ok_total"); got != n {
+		t.Fatalf("responses_ok_total = %v, want %d", got, n)
+	}
+	if got := metricValue(t, body, "ringsampler_serve_feature_requests_total"); got != float64(featureCount) {
+		t.Fatalf("feature_requests_total = %v, want %d", got, featureCount)
+	}
+	if got := metricValue(t, body, "ringsampler_io_feat_reads_total"); got <= 0 {
+		t.Fatalf("io_feat_reads_total = %v, want > 0", got)
+	}
+	hits := metricValue(t, body, "ringsampler_io_feat_cache_hits_total")
+	misses := metricValue(t, body, "ringsampler_io_feat_cache_misses_total")
+	if hits <= 0 || misses <= 0 {
+		t.Fatalf("feature cache never exercised under load: hits=%v misses=%v", hits, misses)
+	}
+}
+
+// TestServeFeatureValidation: feature requests against an edge-only
+// dataset and malformed ?features values are 400s that never reach the
+// rings.
+func TestServeFeatureValidation(t *testing.T) {
+	ds := testDataset(t) // no feature file
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendPool
+	cfg.Core.Threads = 1
+	_, base := startServer(t, ds, cfg)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	req := sampleRequest{Targets: []uint32{1, 2, 3}, Fanouts: []int{5}, Seed: 1}
+
+	for _, tc := range []struct {
+		name, path string
+		body       sampleRequest
+		wantErr    string
+	}{
+		{"body flag on edge-only dataset", "/v1/sample",
+			sampleRequest{Targets: req.Targets, Fanouts: req.Fanouts, Seed: 1, Features: true},
+			"no feature file"},
+		{"query flag on edge-only dataset", "/v1/sample?features=true", req, "no feature file"},
+		{"malformed query flag", "/v1/sample?features=maybe", req, "must be a boolean"},
+	} {
+		st, data := postSamplePath(t, client, base, tc.path, tc.body)
+		if st != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, st, data)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			t.Fatalf("%s: bad error JSON: %v", tc.name, err)
+		}
+		if !strings.Contains(er.Error, tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, er.Error, tc.wantErr)
+		}
+	}
+
+	// ?features=false (and an explicit false body flag) on a featureful
+	// dataset is an ordinary plain request.
+	fds := testFeatureDataset(t)
+	_, fbase := startServer(t, fds, cfg)
+	st, data := postSamplePath(t, client, fbase, "/v1/sample?features=false", req)
+	if st != http.StatusOK {
+		t.Fatalf("features=false: status %d: %s", st, data)
+	}
+	var resp sampleResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range resp.Batches {
+		if b.FeatureDim != 0 || len(b.Features) != 0 {
+			t.Fatalf("features=false: batch %d still carries a feature payload", bi)
+		}
+	}
+
+	body := scrapeMetrics(t, client, base)
+	if got := metricValue(t, body, "ringsampler_serve_bad_requests_total"); got != 3 {
+		t.Fatalf("bad_requests_total = %v, want 3", got)
+	}
+	if got := metricValue(t, body, "ringsampler_io_feat_reads_total"); got != 0 {
+		t.Fatalf("rejected feature requests still reached the feature ring: %v reads", got)
+	}
+}
+
 // slowRing delays every Wait — a dial for saturating the service in
 // tests without big datasets.
 type slowRing struct {
@@ -293,9 +514,12 @@ func (r *slowRing) Wait(min int) ([]uring.CQE, error) {
 // admission queue: most of the 64 concurrent requests must be rejected
 // 429 — quickly, not after queuing behind the slow device — the rest
 // must succeed and stay byte-identical, and /metrics must agree with
-// the client-observed rejection count.
+// the client-observed rejection count. Every request asks for features:
+// the feature stage rides the same admission control, and successful
+// responses must carry byte-identical feature payloads even under
+// saturation.
 func TestServeSaturationFastFail(t *testing.T) {
-	ds := testDataset(t)
+	ds := testFeatureDataset(t)
 	cfg := DefaultConfig()
 	cfg.Backend = uring.BackendPool
 	cfg.Core.Threads = 1
@@ -316,7 +540,7 @@ func TestServeSaturationFastFail(t *testing.T) {
 		for j := range targets {
 			targets[j] = rng.Uint32n(uint32(ds.NumNodes()))
 		}
-		reqs[i] = sampleRequest{Targets: targets, Fanouts: []int{5, 5}, Seed: uint64(i), TimeoutMS: 30_000}
+		reqs[i] = sampleRequest{Targets: targets, Fanouts: []int{5, 5}, Seed: uint64(i), Features: true, TimeoutMS: 30_000}
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -376,9 +600,10 @@ func TestServeSaturationFastFail(t *testing.T) {
 }
 
 // TestServeDeadline: a request whose deadline is far shorter than the
-// device latency must come back 504 and be counted.
+// device latency must come back 504 and be counted — features on, so
+// the deadline path is proven unchanged with the feature stage in play.
 func TestServeDeadline(t *testing.T) {
-	ds := testDataset(t)
+	ds := testFeatureDataset(t)
 	cfg := DefaultConfig()
 	cfg.Backend = uring.BackendPool
 	cfg.Core.Threads = 1
@@ -389,7 +614,7 @@ func TestServeDeadline(t *testing.T) {
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	st, data := postSample(t, client, base, sampleRequest{
-		Targets: []uint32{1, 2, 3}, Fanouts: []int{10, 10}, Seed: 5, TimeoutMS: 10,
+		Targets: []uint32{1, 2, 3}, Fanouts: []int{10, 10}, Seed: 5, Features: true, TimeoutMS: 10,
 	})
 	if st != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", st, data)

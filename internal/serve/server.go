@@ -31,6 +31,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -261,6 +262,12 @@ type sampleRequest struct {
 	// Seed drives the request's sampling randomness; equal requests
 	// with equal seeds get byte-identical responses.
 	Seed uint64 `json:"seed"`
+	// Features runs the feature stage per batch: each response batch
+	// carries the deduplicated node union and its raw f32 feature
+	// vectors (base64 in JSON). Also settable via the ?features=true
+	// query parameter. Requires a dataset with a feature file (400
+	// otherwise).
+	Features bool `json:"features,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline
 	// (capped at the server's MaxTimeout).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -274,7 +281,14 @@ type layerJSON struct {
 
 type batchJSON struct {
 	Layers []layerJSON `json:"layers"`
-	Digest string      `json:"digest"`
+	// Feature payload (present only when the request asked for
+	// features): the batch's deduplicated node union, the per-node
+	// vector width, and the raw little-endian f32 vectors back to back
+	// in FeatNodes order — []byte, so encoding/json renders base64.
+	FeatNodes  []uint32 `json:"feat_nodes,omitempty"`
+	FeatureDim int      `json:"feature_dim,omitempty"`
+	Features   []byte   `json:"features,omitempty"`
+	Digest     string   `json:"digest"`
 }
 
 // sampleResponse is the POST /v1/sample reply: one batch per
@@ -333,6 +347,18 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if q := r.URL.Query().Get("features"); q != "" {
+		on, err := strconv.ParseBool(q)
+		if err != nil {
+			s.badRequest(w, "features query parameter must be a boolean: "+err.Error())
+			return
+		}
+		req.Features = req.Features || on
+	}
+	if req.Features && !s.ds.HasFeatures() {
+		s.badRequest(w, "features requested but the dataset has no feature file")
+		return
+	}
 	fanouts := req.Fanouts
 	if len(fanouts) == 0 {
 		fanouts = s.cfg.Core.Fanouts
@@ -363,6 +389,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 
 	t0 := time.Now()
 	s.met.requests.Add(1)
+	if req.Features {
+		s.met.featureRequests.Add(1)
+	}
 
 	// Shard into the engine's mini-batch granularity. Chunk i samples
 	// under sample.Mix(seed, i) — the same derivation core.RunEpoch
@@ -378,13 +407,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			hi = len(req.Targets)
 		}
 		j := &job{
-			ctx:     ctx,
-			targets: req.Targets[lo:hi],
-			fanouts: fanouts,
-			seed:    sample.Mix(req.Seed, uint64(ci)),
-			enq:     time.Now(),
-			chunk:   ci,
-			req:     rq,
+			ctx:      ctx,
+			targets:  req.Targets[lo:hi],
+			fanouts:  fanouts,
+			seed:     sample.Mix(req.Seed, uint64(ci)),
+			features: req.Features,
+			enq:      time.Now(),
+			chunk:    ci,
+			req:      rq,
 		}
 		select {
 		case s.queue <- j:
@@ -425,6 +455,11 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		for li := range b.Layers {
 			l := &b.Layers[li]
 			bj.Layers[li] = layerJSON{Targets: l.Targets, Starts: l.Starts, Neighbors: l.Neighbors}
+		}
+		if b.FeatureDim > 0 {
+			bj.FeatNodes = b.FeatNodes
+			bj.FeatureDim = b.FeatureDim
+			bj.Features = b.Features
 		}
 		d := b.Digest()
 		bj.Digest = fmt.Sprintf("%016x", d)

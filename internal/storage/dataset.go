@@ -32,6 +32,12 @@ type Dataset struct {
 	// benchmarking the page cache.
 	directErr error
 
+	// featF is the feature file handle (nil for edge-only datasets);
+	// featAlign is its O_DIRECT granularity, probed independently of the
+	// edge file's.
+	featF     *os.File
+	featAlign int
+
 	edgesOnce sync.Once
 	edges     []uint32
 	edgesErr  error
@@ -92,7 +98,17 @@ func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 			return nil, fmt.Errorf("storage: offset index %s not monotone at node %d", offPath, v)
 		}
 	}
+	featPath, err := validateFeatures(dir, man)
+	if err != nil {
+		return nil, err
+	}
 	d := &Dataset{dir: dir, man: man, offsets: offsets}
+	if featPath != "" {
+		d.featF, d.featAlign, err = openMaybeDirect(featPath, man.FeatBytes, opts.Direct)
+		if err != nil {
+			return nil, fmt.Errorf("storage: open feature file: %w", err)
+		}
+	}
 	if opts.Direct {
 		f, align, derr := openDirect(edgePath, fi.Size())
 		if derr == nil {
@@ -104,10 +120,26 @@ func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 	}
 	f, err := os.Open(edgePath)
 	if err != nil {
+		d.Close()
 		return nil, fmt.Errorf("storage: open edge file: %w", err)
 	}
 	d.f = f
 	return d, nil
+}
+
+// openMaybeDirect opens path O_DIRECT when direct is requested and the
+// probe succeeds, falling back to a buffered handle otherwise (align 0).
+func openMaybeDirect(path string, size int64, direct bool) (*os.File, int, error) {
+	if direct {
+		if f, align, err := openDirect(path, size); err == nil {
+			return f, align, nil
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, 0, nil
 }
 
 func readOffsets(path string, numNodes int64) ([]int64, error) {
@@ -170,13 +202,19 @@ func (d *Dataset) DirectFallback() error { return d.directErr }
 // through an aligned bounce buffer, so callers stay oblivious to the
 // alignment constraint.
 func (d *Dataset) ReadAt(p []byte, off int64) (int, error) {
-	if d.directAlign == 0 || len(p) == 0 {
-		return d.f.ReadAt(p, off)
+	return readAtMaybeDirect(d.f, d.directAlign, p, off)
+}
+
+// readAtMaybeDirect serves an arbitrary (offset, length) read from f,
+// bouncing through an aligned buffer when the handle is O_DIRECT.
+func readAtMaybeDirect(f *os.File, align int, p []byte, off int64) (int, error) {
+	if align == 0 || len(p) == 0 {
+		return f.ReadAt(p, off)
 	}
-	lo := AlignDown(off, d.directAlign)
-	hi := AlignUp(off+int64(len(p)), d.directAlign)
-	buf := AlignedSlice(int(hi-lo), d.directAlign)
-	n, err := d.f.ReadAt(buf, lo)
+	lo := AlignDown(off, align)
+	hi := AlignUp(off+int64(len(p)), align)
+	buf := AlignedSlice(int(hi-lo), align)
+	n, err := f.ReadAt(buf, lo)
 	got := int64(n) - (off - lo)
 	if got < 0 {
 		got = 0
@@ -215,12 +253,18 @@ func (d *Dataset) LoadEdges() ([]uint32, error) {
 	return d.edges, d.edgesErr
 }
 
-// Close releases the edge file handle.
+// Close releases the edge and feature file handles.
 func (d *Dataset) Close() error {
-	if d.f == nil {
-		return nil
+	var err error
+	if d.f != nil {
+		err = d.f.Close()
+		d.f = nil
 	}
-	err := d.f.Close()
-	d.f = nil
+	if d.featF != nil {
+		if ferr := d.featF.Close(); err == nil {
+			err = ferr
+		}
+		d.featF = nil
+	}
 	return err
 }

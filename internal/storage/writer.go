@@ -38,6 +38,12 @@ type Writer struct {
 	offsets  []int64
 	lastSrc  int64 // highest source seen; -1 before the first edge
 	count    int64
+
+	// Staged feature metadata (SetFeatures), folded into the manifest by
+	// Finish. Zero values mean an edge-only dataset.
+	featDim      int
+	featBytes    int64
+	featChecksum string
 }
 
 // NewWriter creates dir (if needed) and opens the edge file for a
@@ -90,6 +96,24 @@ func (w *Writer) Add(src, dst uint32) error {
 	return nil
 }
 
+// SetFeatures stages the feature-file metadata Finish records in the
+// manifest. The caller is responsible for having written
+// dir/features.bin with exactly featBytes = numNodes*dim*
+// FeatureElemBytes bytes whose FNV-1a 64 digest is checksum — Open
+// re-verifies all three.
+func (w *Writer) SetFeatures(dim int, featBytes int64, checksum string) error {
+	if dim <= 0 {
+		return fmt.Errorf("storage: feature dim %d must be positive", dim)
+	}
+	if want := w.numNodes * int64(dim) * FeatureElemBytes; featBytes != want {
+		return fmt.Errorf("storage: feature bytes %d != numNodes*dim*%d = %d", featBytes, FeatureElemBytes, want)
+	}
+	w.featDim = dim
+	w.featBytes = featBytes
+	w.featChecksum = checksum
+	return nil
+}
+
 // Finish flushes the edge file, writes the offset index and manifest,
 // and returns the manifest. The writer is unusable afterwards.
 func (w *Writer) Finish() (graph.Manifest, error) {
@@ -124,11 +148,14 @@ func (w *Writer) Finish() (graph.Manifest, error) {
 		return man, fmt.Errorf("storage: close offset index: %w", err)
 	}
 	man = graph.Manifest{
-		Version:  graph.ManifestVersion,
-		Name:     w.name,
-		NumNodes: w.numNodes,
-		NumEdges: w.count,
-		BinBytes: w.count * EntryBytes,
+		Version:      graph.ManifestVersion,
+		Name:         w.name,
+		NumNodes:     w.numNodes,
+		NumEdges:     w.count,
+		BinBytes:     w.count * EntryBytes,
+		FeatureDim:   w.featDim,
+		FeatBytes:    w.featBytes,
+		FeatChecksum: w.featChecksum,
 	}
 	if err := man.Save(filepath.Join(w.dir, ManifestFile)); err != nil {
 		return man, err

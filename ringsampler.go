@@ -61,6 +61,24 @@ func GenerateDataset(dir, kind string, nodes, edges int64, seed uint64) error {
 	return err
 }
 
+// GenOptions are the optional extras of dataset generation; the
+// interesting knob is FeatureDim, which adds a fixed-stride f32 node
+// feature file (features.bin) sampled deterministically per node.
+type GenOptions = gen.Options
+
+// GenerateDatasetWith is GenerateDataset with explicit options —
+// notably GenOptions.FeatureDim to emit per-node feature vectors that
+// workers can fetch through the ring pipeline (Config.FetchFeatures or
+// BatchOpts.Features).
+func GenerateDatasetWith(dir, kind string, nodes, edges int64, seed uint64, o GenOptions) error {
+	_, err := gen.GenerateWith(dir, kind, kind, nodes, edges, seed, o)
+	return err
+}
+
+// BatchOpts are per-batch sampling options for Worker.SampleBatchOpts
+// (explicit fanouts, seed, and the feature-fetch stage).
+type BatchOpts = core.BatchOpts
+
 // OpenOptions configures how a dataset's edge file is opened; the
 // interesting knob is Direct (O_DIRECT with probed alignment, falling
 // back to buffered when unsupported).

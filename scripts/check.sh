@@ -46,6 +46,21 @@ go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 \
     -bench-uring benchdata/BENCH_uring.json $uring_quick >/dev/null
 echo "wrote benchdata/BENCH_uring.json"
 
+# Feature-store conformance + ablation (DESIGN.md §10): sweep the
+# hot-node feature cache budget on a temp-generated featureful graph.
+# The sweep itself enforces the contract — byte-identical digest
+# stream at every budget, monotone non-increasing device feature
+# bytes, exactly zero at an unlimited budget — and writes
+# benchdata/BENCH_features.json. QUICK=1 keeps the budget endpoints.
+feat_quick=""
+if [ "${QUICK:-0}" = "1" ]; then
+    feat_quick="-bench-features-quick"
+fi
+go run ./cmd/epoch -nodes 20000 -edges 300000 -feature-dim 16 \
+    -threads 4 -targets 2048 -batch 256 \
+    -bench-features benchdata/BENCH_features.json $feat_quick >/dev/null
+echo "wrote benchdata/BENCH_features.json"
+
 # Bench summary: epoch throughput (entries/s, bytes/s) and hot-neighbor
 # cache hit rate at budgets 0 and 64 MiB on the checked-in dataset,
 # written as benchdata/BENCH_epoch.json so runs are diffable across
