@@ -83,30 +83,33 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("epoch", flag.ContinueOnError)
 	var (
-		data       = fs.String("data", "", "dataset directory (empty: generate a temporary R-MAT graph)")
-		nodes      = fs.Int64("nodes", 50_000, "node count for the temporary graph (with empty -data)")
-		edges      = fs.Int64("edges", 800_000, "edge count for the temporary graph (with empty -data)")
-		threads    = fs.Int("threads", 0, "worker count (0: config default)")
-		batch      = fs.Int("batch", 0, "mini-batch size (0: config default)")
-		targets    = fs.Int("targets", 4096, "epoch target-node count")
-		seed       = fs.Uint64("seed", 1, "sampling seed")
-		backend    = fs.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
-		invariance = fs.Bool("invariance", false, "rerun at 1 and 2 threads and diff per-batch digests")
-		cacheMB    = fs.Int64("cache-mb", 0, "hot-neighbor cache budget in MiB (0: cache off)")
-		benchJSON  = fs.String("bench-json", "", "write a JSON throughput summary at cache budgets 0 and 64 MiB to this file")
-		probe      = fs.Bool("probe", false, "print the probed io_uring capability set and exit")
-		uringFixed = fs.Bool("uring-fixed", false, "register worker arenas and read via IORING_OP_READ_FIXED (emulated on pool/sim)")
-		uringReg   = fs.Bool("uring-regfiles", false, "register the edge file and submit with IOSQE_FIXED_FILE (real backend only)")
-		uringSQP   = fs.Bool("uring-sqpoll", false, "create SQPOLL rings: kernel-thread submission, zero steady-state submit syscalls (real backend only)")
-		odirect    = fs.Bool("odirect", false, "open the edge file O_DIRECT (falls back to buffered with a logged reason when unsupported)")
-		depth      = fs.Int("depth", 0, "cap in-flight reads per worker (0: bounded only by the ring)")
-		benchUring = fs.String("bench-uring", "", "run the knob-ablation sweep and write its JSON summary to this file")
-		benchQuick = fs.Bool("bench-uring-quick", false, "shrink the knob sweep to the plain-vs-fixed smoke pair")
-		featureDim = fs.Int("feature-dim", 0, "per-node f32 feature dimension for the temporary graph (with empty -data; 0: no features)")
-		features   = fs.Bool("features", false, "fetch feature vectors for every sampled node after each batch's draw")
-		featMB     = fs.Int64("feature-cache-mb", 0, "hot-node feature cache budget in MiB (0: cache off)")
-		benchFeat  = fs.String("bench-features", "", "run the feature cache-budget ablation and write its JSON summary to this file")
-		benchFeatQ = fs.Bool("bench-features-quick", false, "shrink the feature ablation to the cache-off/cache-all smoke pair")
+		data        = fs.String("data", "", "dataset directory (empty: generate a temporary R-MAT graph)")
+		nodes       = fs.Int64("nodes", 50_000, "node count for the temporary graph (with empty -data)")
+		edges       = fs.Int64("edges", 800_000, "edge count for the temporary graph (with empty -data)")
+		threads     = fs.Int("threads", 0, "worker count (0: config default)")
+		batch       = fs.Int("batch", 0, "mini-batch size (0: config default)")
+		targets     = fs.Int("targets", 4096, "epoch target-node count")
+		seed        = fs.Uint64("seed", 1, "sampling seed")
+		backend     = fs.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
+		invariance  = fs.Bool("invariance", false, "rerun at 1 and 2 threads and diff per-batch digests")
+		cacheMB     = fs.Int64("cache-mb", 0, "hot-neighbor cache budget in MiB (0: cache off)")
+		benchJSON   = fs.String("bench-json", "", "write a JSON throughput summary at cache budgets 0 and 64 MiB to this file")
+		probe       = fs.Bool("probe", false, "print the probed io_uring capability set and exit")
+		uringFixed  = fs.Bool("uring-fixed", false, "register worker arenas and read via IORING_OP_READ_FIXED (emulated on pool/sim)")
+		uringReg    = fs.Bool("uring-regfiles", false, "register the edge file and submit with IOSQE_FIXED_FILE (real backend only)")
+		uringSQP    = fs.Bool("uring-sqpoll", false, "create SQPOLL rings: kernel-thread submission, zero steady-state submit syscalls (real backend only)")
+		odirect     = fs.Bool("odirect", false, "open the edge file O_DIRECT (falls back to buffered with a logged reason when unsupported)")
+		depth       = fs.Int("depth", 0, "cap in-flight reads per worker (0: bounded only by the ring)")
+		benchUring  = fs.String("bench-uring", "", "run the knob-ablation sweep and write its JSON summary to this file")
+		benchQuick  = fs.Bool("bench-uring-quick", false, "shrink the knob sweep to the plain-vs-fixed smoke pair")
+		featureDim  = fs.Int("feature-dim", 0, "per-node f32 feature dimension for the temporary graph (with empty -data; 0: no features)")
+		features    = fs.Bool("features", false, "fetch feature vectors for every sampled node after each batch's draw")
+		featMB      = fs.Int64("feature-cache-mb", 0, "hot-node feature cache budget in MiB (0: cache off)")
+		benchFeat   = fs.String("bench-features", "", "run the feature cache-budget ablation and write its JSON summary to this file")
+		benchFeatQ  = fs.Bool("bench-features-quick", false, "shrink the feature ablation to the cache-off/cache-all smoke pair")
+		strategy    = fs.String("strategy", "", "sampling strategy: uniform, weighted, walk (empty: uniform)")
+		benchStrat  = fs.String("bench-strategy", "", "run the strategy sweep (thread invariance enforced per strategy) and write its JSON summary to this file")
+		benchStratQ = fs.Bool("bench-strategy-quick", false, "shrink the strategy sweep to the uniform-vs-walk smoke pair")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,6 +186,7 @@ func run(args []string, out io.Writer) error {
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Strategy = *strategy
 	cfg.CacheBudgetBytes = *cacheMB << 20
 	cfg.FixedBuffers = *uringFixed
 	cfg.RegisteredFiles = *uringReg
@@ -210,12 +214,12 @@ func run(args []string, out io.Writer) error {
 	if *benchFeat != "" {
 		return writeBenchFeatures(out, *benchFeat, dir, ds, cfg, be, *targets, *benchFeatQ)
 	}
+	if *benchStrat != "" {
+		return writeBenchStrategy(out, *benchStrat, dir, ds, cfg, be, *targets, *benchStratQ)
+	}
 
 	rng := sample.NewRNG(sample.Mix(*seed, 0xe90c))
-	epochTargets := make([]uint32, *targets)
-	for i := range epochTargets {
-		epochTargets[i] = rng.Uint32n(uint32(ds.NumNodes()))
-	}
+	epochTargets := exp.UniformTargets(&rng, ds.NumNodes(), *targets)
 
 	ref, err := runOnce(ctx, out, ds, cfg, be, epochTargets)
 	if err != nil {
@@ -507,6 +511,72 @@ func writeBenchFeatures(out io.Writer, path, dir string, ds *storage.Dataset, cf
 		return err
 	}
 	fmt.Fprintf(out, "feature ablation written to %s\n", path)
+	return nil
+}
+
+// writeBenchStrategy runs the sampling-strategy sweep (exp.StrategySweep)
+// and writes the per-strategy JSON summary (benchdata/BENCH_strategy.json
+// in CI): entries/s, device bytes, and the folded digest of each
+// strategy's epoch, with 1-thread vs multi-thread digest identity
+// enforced per strategy by the sweep itself.
+func writeBenchStrategy(out io.Writer, path, dir string, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets int, quick bool) error {
+	strategies := core.StrategyNames()
+	if quick {
+		strategies = []string{core.StrategyUniform, core.StrategyWalk}
+	}
+	points, err := exp.StrategySweep(ds, exp.Options{
+		Targets:   targets,
+		BatchSize: cfg.BatchSize,
+		Threads:   cfg.Threads,
+	}, be, strategies, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	type stratPoint struct {
+		Strategy      string  `json:"strategy"`
+		Threads       int     `json:"threads"`
+		EntriesPerSec float64 `json:"entries_per_sec"`
+		DeviceBytes   int64   `json:"device_bytes"`
+		Sampled       int64   `json:"sampled_entries"`
+		Digest        string  `json:"digest"`
+	}
+	type stratFile struct {
+		Dataset string       `json:"dataset"`
+		Backend string       `json:"backend"`
+		Threads int          `json:"threads"`
+		Targets int          `json:"targets"`
+		Points  []stratPoint `json:"points"`
+	}
+	sf := stratFile{
+		Dataset: dir,
+		Backend: string(be),
+		Threads: cfg.Threads,
+		Targets: targets,
+	}
+	for _, p := range points {
+		sp := stratPoint{
+			Strategy:      p.Strategy,
+			Threads:       p.Threads,
+			EntriesPerSec: p.Stats.EntriesPerSec,
+			DeviceBytes:   p.Stats.IO.BytesRead,
+			Sampled:       p.Stats.Sampled,
+			Digest:        fmt.Sprintf("%#016x", p.Digest),
+		}
+		sf.Points = append(sf.Points, sp)
+		fmt.Fprintf(out, "strategy %-9s %12.0f entries/s  %9d device B  %10d sampled  digest %s\n",
+			sp.Strategy, sp.EntriesPerSec, sp.DeviceBytes, sp.Sampled, sp.Digest)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "strategy sweep written to %s\n", path)
 	return nil
 }
 

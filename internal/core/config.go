@@ -50,6 +50,13 @@ type Config struct {
 	// Seed drives all sampling randomness. Identical seeds yield
 	// bit-identical sample sets.
 	Seed uint64
+	// Strategy names the draw strategy (StrategyUniform/Weighted/Walk);
+	// empty selects uniform — the paper's Floyd fanout draws, byte-
+	// identical to the engine before strategies existed. Every strategy
+	// rides the same ring pipeline and keeps the determinism contract:
+	// output is a pure function of (dataset, config, targets, Seed),
+	// invariant under Threads and backend.
+	Strategy string
 	// MaxIORetries bounds how many times one ring read is resubmitted
 	// after a transient result (-EINTR/-EAGAIN, or a short read's
 	// remaining byte range) before the worker surfaces a structured
@@ -150,6 +157,9 @@ func (c *Config) validate() error {
 	}
 	if c.MaxIORetries < 0 {
 		return fmt.Errorf("core: max I/O retries %d must be non-negative", c.MaxIORetries)
+	}
+	if !ValidStrategy(c.Strategy) {
+		return fmt.Errorf("core: unknown sampling strategy %q (known: %v)", c.Strategy, StrategyNames())
 	}
 	if c.Depth < 0 {
 		return fmt.Errorf("core: depth %d must be non-negative", c.Depth)

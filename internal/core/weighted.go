@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ringsampler/internal/memctl"
+	"ringsampler/internal/storage"
+)
+
+// aliasBytesPerNode is the weighted strategy's memory rule: alias
+// tables may use at most this many bytes per graph node, total. The
+// budget is node-proportional by construction — like the offset index
+// and the hot caches, never edge-proportional — so the paper's memory
+// claim survives the strategy. 16 B/node tables the hubs of a skewed
+// graph comfortably (one slot costs aliasSlotBytes).
+const aliasBytesPerNode = 16
+
+// aliasSlotBytes is the memory charge of one alias-table slot: the
+// float64 acceptance probability plus the int32 alias index.
+const aliasSlotBytes = 12
+
+// aliasNodeOverheadBytes is the per-table bookkeeping charge (index
+// map entry plus slice headers), mirroring the hot cache's honesty
+// rule: node-proportional structures never hide from the budget.
+const aliasNodeOverheadBytes = 48
+
+// aliasTable is one node's Vose alias table over its neighbor list:
+// slot i is accepted with probability prob[i], otherwise the draw
+// becomes alias[i]. Immutable after build.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// aliasSet holds the weighted strategy's per-node alias tables. Nodes
+// without a table (the long tail that did not fit the budget) draw
+// uniformly. Immutable after buildAliasSet, so workers consult it with
+// no synchronization.
+type aliasSet struct {
+	tables map[uint32]aliasTable
+	bytes  int64 // charged slot bytes (excluding per-node overhead)
+}
+
+func (a *aliasSet) lookup(v uint32) (aliasTable, bool) {
+	if a == nil {
+		return aliasTable{}, false
+	}
+	t, ok := a.tables[v]
+	return t, ok
+}
+
+// buildAliasSet assembles degree-biased alias tables under the
+// node-proportional memory rule: candidates are ordered degree-first
+// (ties broken by ascending id, exactly like the hot-neighbor cache)
+// and selected first-fit in that order, charging aliasSlotBytes per
+// neighbor entry plus aliasNodeOverheadBytes per table against
+// memctl.New(aliasBytesPerNode × NumNodes). A candidate that does not
+// fit the remaining budget is skipped, not a stopping point — on
+// heavily skewed graphs a single mega-hub can outweigh the entire
+// budget, and stopping there would table nothing. First-fit over a
+// fixed order is still a pure function of the dataset, which is what
+// makes weighted draws deterministic across threads, backends and
+// runs.
+//
+// A table's weights are deg(neighbor)+1, read through the offset
+// index; the +1 keeps zero-degree neighbors drawable so the weighted
+// sample space equals the uniform one.
+func buildAliasSet(ds *storage.Dataset) (*aliasSet, error) {
+	numNodes := ds.NumNodes()
+	if numNodes <= 0 || numNodes > int64(^uint32(0)) {
+		return nil, fmt.Errorf("core: node count %d outside uint32 range", numNodes)
+	}
+	budget := memctl.New(aliasBytesPerNode * numNodes)
+	type cand struct {
+		id  uint32
+		deg int64
+	}
+	cands := make([]cand, 0, numNodes)
+	for v := int64(0); v < numNodes; v++ {
+		st, en := ds.Range(uint32(v))
+		// Degree-1 lists are skipped: uniform and weighted draws agree
+		// there, so a table would spend budget to change nothing but
+		// RNG consumption.
+		if deg := en - st; deg > 1 {
+			cands = append(cands, cand{id: uint32(v), deg: deg})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].deg != cands[j].deg {
+			return cands[i].deg > cands[j].deg
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	// First-fit selection under the budget.
+	var picked []cand
+	for _, c := range cands {
+		if err := budget.Charge(c.deg*aliasSlotBytes + aliasNodeOverheadBytes); err != nil {
+			if memctl.IsOOM(err) {
+				continue
+			}
+			return nil, err
+		}
+		picked = append(picked, c)
+	}
+	// Fill in file order so the build pass reads the edge file
+	// sequentially rather than hopping hub to hub.
+	sort.Slice(picked, func(i, j int) bool {
+		si, _ := ds.Range(picked[i].id)
+		sj, _ := ds.Range(picked[j].id)
+		return si < sj
+	})
+	set := &aliasSet{tables: make(map[uint32]aliasTable, len(picked))}
+	var listBuf []byte
+	weights := make([]float64, 0, 256)
+	for _, c := range picked {
+		st, _ := ds.Range(c.id)
+		n := c.deg * storage.EntryBytes
+		if int64(cap(listBuf)) < n {
+			listBuf = make([]byte, n)
+		}
+		buf := listBuf[:n]
+		if _, err := ds.ReadAt(buf, st*storage.EntryBytes); err != nil {
+			return nil, fmt.Errorf("core: read node %d list for alias table: %w", c.id, err)
+		}
+		weights = weights[:0]
+		for i := int64(0); i < c.deg; i++ {
+			u := leU32(buf[i*storage.EntryBytes:])
+			us, ue := ds.Range(u)
+			weights = append(weights, float64(ue-us+1))
+		}
+		set.tables[c.id] = buildAlias(weights)
+		set.bytes += c.deg * aliasSlotBytes
+	}
+	return set, nil
+}
+
+// buildAlias runs Vose's algorithm over the weights: O(n), fully
+// deterministic (classification order is ascending index, worklists
+// are LIFO), yielding a table that draws index i with probability
+// weights[i]/sum(weights) from two uniform variates.
+func buildAlias(weights []float64) aliasTable {
+	n := len(weights)
+	t := aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Float round-off strands leftovers in either list; both mean
+	// "accept unconditionally".
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"sync"
 	"syscall"
 
 	"ringsampler/internal/cache"
@@ -31,6 +31,12 @@ type Sampler struct {
 	// featHot is the shared hot-node feature cache (nil when disabled),
 	// immutable like hot.
 	featHot *cache.Hot
+	// defStrat is the pre-resolved Config.Strategy (uniform when
+	// unset), consulted lock-free on every batch. Per-batch overrides
+	// resolve through the lazily built strats registry.
+	defStrat Strategy
+	stratMu  sync.Mutex
+	strats   map[string]Strategy
 }
 
 // activeKnobs is the resolved fast-path feature set. fixed means the
@@ -108,6 +114,13 @@ func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, erro
 		}
 		s.featHot = fh
 	}
+	// Resolve the default strategy eagerly so a misnamed Config.Strategy
+	// (or a failing weighted alias build) surfaces here, not mid-epoch.
+	def, err := s.buildStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	s.defStrat = def
 	return s, nil
 }
 
@@ -163,8 +176,7 @@ type Worker struct {
 
 	// Workspaces, reused across batches (paper §3.1).
 	runs        []ioRun      // coalesced read requests (edge entries or feature records)
-	frontier    []uint32     // target workspace
-	gathered    []uint32     // neighbor accumulation for frontier building
+	frontier    []uint32     // target workspace (strategies rebuild it between layers)
 	featNodes   []uint32     // feature stage: batch node-union accumulation
 	buf         []byte       // current stage buffer (arena prefix or heapBuf)
 	heapBuf     []byte       // heap backing for stages that skip the arena
@@ -421,7 +433,7 @@ func (w *Worker) Broken() bool { return w.broken }
 // worker's rolling per-(Seed, id) stream.
 func (w *Worker) SampleBatchSeeded(targets []uint32, seed uint64) (*Batch, error) {
 	w.rng.Reseed(seed)
-	return w.sampleBatch(targets, w.s.cfg.Fanouts, w.s.cfg.FetchFeatures)
+	return w.sampleBatch(targets, w.s.cfg.Fanouts, w.s.cfg.FetchFeatures, w.s.defStrat)
 }
 
 // SampleBatchFanouts reseeds the RNG and samples one mini-batch with
@@ -446,6 +458,11 @@ type BatchOpts struct {
 	// Config.FetchFeatures is off — the serving layer's per-request
 	// switch.
 	Features bool
+	// Strategy names the draw strategy for this batch, overriding
+	// Config.Strategy; empty falls through to the engine default. The
+	// serving layer validates names before queueing (ValidStrategy), so
+	// an unknown name here is a programming error surfaced per batch.
+	Strategy string
 }
 
 // SampleBatchOpts is SampleBatchFanouts with the full option set,
@@ -459,8 +476,12 @@ func (w *Worker) SampleBatchOpts(targets []uint32, o BatchOpts) (*Batch, error) 
 			return nil, fmt.Errorf("core: fanout[%d] = %d must be positive", i, f)
 		}
 	}
+	strat, err := w.s.strategyFor(o.Strategy)
+	if err != nil {
+		return nil, err
+	}
 	w.rng.Reseed(o.Seed)
-	return w.sampleBatch(targets, o.Fanouts, o.Features || w.s.cfg.FetchFeatures)
+	return w.sampleBatch(targets, o.Fanouts, o.Features || w.s.cfg.FetchFeatures, strat)
 }
 
 // SampleBatch samples the configured fanout layers for one mini-batch
@@ -468,10 +489,10 @@ func (w *Worker) SampleBatchOpts(targets []uint32, o BatchOpts) (*Batch, error) 
 // decisions are made before any I/O is issued; what crosses the
 // storage boundary depends on the config's OffsetSampling switch.
 func (w *Worker) SampleBatch(targets []uint32) (*Batch, error) {
-	return w.sampleBatch(targets, w.s.cfg.Fanouts, w.s.cfg.FetchFeatures)
+	return w.sampleBatch(targets, w.s.cfg.Fanouts, w.s.cfg.FetchFeatures, w.s.defStrat)
 }
 
-func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool) (*Batch, error) {
+func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool, strat Strategy) (*Batch, error) {
 	if w.broken {
 		return nil, fmt.Errorf("core: worker %d: %w", w.id, ErrWorkerBroken)
 	}
@@ -480,20 +501,22 @@ func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool) (*B
 	w.frontier = append(w.frontier[:0], targets...)
 	for li, fanout := range fanouts {
 		layer := &batch.Layers[li]
+		fan := strat.LayerFanout(li, fanout)
 		if cfg.OffsetSampling {
-			if err := w.sampleLayerOffset(layer, fanout); err != nil {
+			if err := w.sampleLayerOffset(layer, fan, strat); err != nil {
 				return nil, err
 			}
 		} else {
-			if err := w.sampleLayerFull(layer, fanout); err != nil {
+			if err := w.sampleLayerFull(layer, fan, strat); err != nil {
 				return nil, err
 			}
 		}
-		// Between-layer frontier: sort+dedup the sampled neighbors
-		// (paper §2.1). The dedup'd set becomes the next layer's
-		// targets.
-		w.gathered = append(w.gathered[:0], layer.Neighbors...)
-		w.frontier = append(w.frontier[:0], sample.SortDedup(w.gathered)...)
+		// Between-layer frontier build (paper §2.1): the strategy turns
+		// the sampled neighbors into the next layer's targets — sorted
+		// and dedup'd for neighbor sampling, kept verbatim for walks.
+		// layer.Targets holds its own copy, so reusing the frontier
+		// workspace as the destination is safe.
+		w.frontier = strat.NextFrontier(layer, w.frontier)
 	}
 	if features {
 		if err := w.fetchBatchFeatures(batch); err != nil {
@@ -506,10 +529,10 @@ func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool) (*B
 // sampleLayerOffset is the paper's path: draw fanout entry indices
 // from each node's offset range, coalesce adjacent picks into runs,
 // and read exactly those entries. Cached nodes are served from the
-// hot-neighbor cache instead of planning runs — the fanout draws
+// hot-neighbor cache instead of planning runs — the strategy's draws
 // happen first either way, so RNG consumption (and therefore the
 // sampled set) is identical with the cache on or off.
-func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
+func (w *Worker) sampleLayerOffset(layer *Layer, fanout int, strat Strategy) error {
 	ds := w.s.ds
 	hot := w.s.hot
 	layer.Targets = append([]uint32(nil), w.frontier...)
@@ -528,8 +551,7 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 		if deg < k {
 			k = deg
 		}
-		w.idxs = sample.Floyd(&w.rng, deg, k, w.idxs[:0])
-		sort.Ints(w.idxs)
+		w.idxs = strat.Draw(&w.rng, v, deg, k, w.idxs[:0])
 		if nb := hot.Lookup(v); nb != nil {
 			for _, idx := range w.idxs {
 				w.cachedPicks = append(w.cachedPicks, cachedPick{
@@ -580,7 +602,7 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int) error {
 // sample in memory. The fanout indices are drawn identically to the
 // offset path — the two modes produce the same sample sets and differ
 // only in what crosses the storage boundary.
-func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
+func (w *Worker) sampleLayerFull(layer *Layer, fanout int, strat Strategy) error {
 	ds := w.s.ds
 	hot := w.s.hot
 	layer.Targets = append([]uint32(nil), w.frontier...)
@@ -602,8 +624,7 @@ func (w *Worker) sampleLayerFull(layer *Layer, fanout int) error {
 		if deg < k {
 			k = deg
 		}
-		w.idxs = sample.Floyd(&w.rng, deg, k, w.idxs[:0])
-		sort.Ints(w.idxs)
+		w.idxs = strat.Draw(&w.rng, v, deg, k, w.idxs[:0])
 		for _, idx := range w.idxs {
 			w.sel = append(w.sel, int32(idx))
 		}

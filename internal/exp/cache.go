@@ -50,10 +50,7 @@ func CacheSweep(ds *storage.Dataset, o Options, backend uring.Backend, budgets [
 		}
 	}
 	rng := sample.NewRNG(sample.Mix(seed, 0xcac4e))
-	targets := make([]uint32, o.Targets)
-	for i := range targets {
-		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
-	}
+	targets := UniformTargets(&rng, ds.NumNodes(), o.Targets)
 
 	var ref []uint64
 	prevDevice := int64(-1)

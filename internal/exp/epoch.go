@@ -34,10 +34,7 @@ func EpochScaling(ds *storage.Dataset, o Options, backend uring.Backend, threads
 		return nil, fmt.Errorf("exp: epoch scaling needs at least one thread count")
 	}
 	rng := sample.NewRNG(sample.Mix(seed, 0xe90c))
-	targets := make([]uint32, o.Targets)
-	for i := range targets {
-		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
-	}
+	targets := UniformTargets(&rng, ds.NumNodes(), o.Targets)
 
 	var ref []uint64
 	out := make([]EpochPoint, 0, len(threads))

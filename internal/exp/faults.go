@@ -108,10 +108,7 @@ func faultRun(ds *storage.Dataset, o Options, backend uring.Backend, rate float6
 	defer w.Close()
 
 	rng := sample.NewRNG(sample.Mix(seed, 0xfa))
-	targets := make([]uint32, o.Targets)
-	for i := range targets {
-		targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
-	}
+	targets := UniformTargets(&rng, ds.NumNodes(), o.Targets)
 	var digest uint64
 	var entries int64
 	start := time.Now()

@@ -137,10 +137,7 @@ func serveLoadPoint(ds *storage.Dataset, cfg ServeLoadConfig, clients int) (*Ser
 			client := &http.Client{Timeout: 2 * time.Minute}
 			rng := sample.NewRNG(sample.Mix(cfg.Seed, uint64(clients)<<20|uint64(c)))
 			for r := 0; r < cfg.RequestsPerClient; r++ {
-				targets := make([]uint32, cfg.TargetsPerRequest)
-				for i := range targets {
-					targets[i] = rng.Uint32n(uint32(ds.NumNodes()))
-				}
+				targets := UniformTargets(&rng, ds.NumNodes(), cfg.TargetsPerRequest)
 				body, err := json.Marshal(map[string]any{
 					"targets": targets,
 					"fanouts": cfg.Fanouts,

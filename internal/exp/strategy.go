@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// StrategyPoint is one sampling strategy of the strategy sweep: a
+// fixed epoch workload drawn under that strategy, reported from the
+// multi-threaded run after single- vs multi-thread digest identity
+// has been verified.
+type StrategyPoint struct {
+	Strategy string
+	Threads  int
+	Stats    core.EpochStats
+	// Digest is the folded per-batch digest stream — the sweep proves
+	// it identical between the 1-thread and Threads-thread runs before
+	// emitting the point, so a strategy that breaks the determinism
+	// contract surfaces as an error, not a data point.
+	Digest uint64
+}
+
+// StrategySweep runs one fixed epoch workload under each named
+// strategy, enforcing the strategy determinism contract as it goes:
+// every strategy's per-batch digest stream must be bit-identical
+// between a 1-thread reference run and the o.Threads run (both
+// reseeded per batch via Mix(seed, batchIndex)). Throughput and device
+// traffic come from the multi-threaded run. An empty strategies list
+// sweeps every known strategy.
+func StrategySweep(ds *storage.Dataset, o Options, backend uring.Backend, strategies []string, seed uint64) ([]StrategyPoint, error) {
+	if o.Targets <= 0 {
+		return nil, fmt.Errorf("exp: strategy sweep needs positive target count, got %d", o.Targets)
+	}
+	if len(strategies) == 0 {
+		strategies = core.StrategyNames()
+	}
+	rng := sample.NewRNG(sample.Mix(seed, 0x57a7))
+	targets := UniformTargets(&rng, ds.NumNodes(), o.Targets)
+
+	threads := o.Threads
+	if threads <= 0 {
+		threads = core.DefaultConfig().Threads
+	}
+	runs := []int{1, threads}
+	if threads == 1 {
+		runs = []int{1}
+	}
+
+	out := make([]StrategyPoint, 0, len(strategies))
+	for _, name := range strategies {
+		var ref []uint64
+		var last *core.EpochStats
+		for _, th := range runs {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Strategy = name
+			cfg.Threads = th
+			if o.BatchSize > 0 {
+				cfg.BatchSize = o.BatchSize
+			}
+			s, err := core.New(ds, cfg, backend)
+			if err != nil {
+				return nil, fmt.Errorf("exp: strategy sweep %s at %d threads: %w", name, th, err)
+			}
+			st, err := s.RunEpoch(targets, nil)
+			if err != nil {
+				return nil, fmt.Errorf("exp: strategy sweep %s at %d threads: %w", name, th, err)
+			}
+			if ref == nil {
+				ref = st.Digests
+			} else {
+				if len(ref) != len(st.Digests) {
+					return nil, fmt.Errorf("exp: strategy %s produced %d batches at %d threads, reference has %d",
+						name, len(st.Digests), th, len(ref))
+				}
+				for i := range ref {
+					if ref[i] != st.Digests[i] {
+						return nil, fmt.Errorf("exp: strategy %s violates thread-count invariance: batch %d digest differs at %d threads (%#x vs %#x)",
+							name, i, th, st.Digests[i], ref[i])
+					}
+				}
+			}
+			last = st
+		}
+		var digest uint64
+		for _, d := range last.Digests {
+			digest = foldDigest(digest, d)
+		}
+		out = append(out, StrategyPoint{Strategy: name, Threads: threads, Stats: *last, Digest: digest})
+	}
+	return out, nil
+}

@@ -146,10 +146,7 @@ func UringSweep(dir string, o Options, backend uring.Backend, combos []UringKnob
 			return nil, fmt.Errorf("exp: uring sweep open %s: %w", k.Name(), err)
 		}
 		rng := sample.NewRNG(sample.Mix(seed, 0xe90c))
-		targets := make([]uint32, o.Targets)
-		for t := range targets {
-			targets[t] = rng.Uint32n(uint32(ds.NumNodes()))
-		}
+		targets := UniformTargets(&rng, ds.NumNodes(), o.Targets)
 
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed

@@ -70,6 +70,15 @@ func (r *RNG) Uint32n(n uint32) uint32 {
 	return uint32(hi)
 }
 
+// Uint64n returns a uniform uint64 in [0, n). n must be > 0. For n
+// that fits a uint32 this consumes the same single Next() and returns
+// the same value as Uint32n — callers indexing node IDs can adopt it
+// without perturbing any existing seeded stream.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	hi, _ := bits.Mul64(r.Next(), n)
+	return hi
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Next()>>11) / (1 << 53)
@@ -82,8 +91,13 @@ func (r *RNG) Float64() float64 {
 // deterministic for a fixed RNG state; callers that need sorted
 // indices sort the suffix themselves.
 //
-// Duplicate detection scans the appended suffix linearly: fanouts are
-// small (paper default max 20), so this beats a map by a wide margin.
+// Duplicate detection scans the appended suffix linearly while k is
+// small (fanouts default to at most 20, where the scan beats a map by
+// a wide margin) and switches to a set above floydScanThreshold so
+// large fanouts cost O(k) instead of O(k²). Both paths make identical
+// accept/replace decisions on an identical RNG stream, so the appended
+// values — and every digest derived from them — do not depend on which
+// path ran.
 func Floyd(r *RNG, n, k int, out []int) []int {
 	if n <= 0 || k <= 0 {
 		return out
@@ -94,24 +108,39 @@ func Floyd(r *RNG, n, k int, out []int) []int {
 		}
 		return out
 	}
+	var seen map[int]struct{}
+	if k > floydScanThreshold {
+		seen = make(map[int]struct{}, k)
+	}
 	base := len(out)
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
 		dup := false
-		for _, v := range out[base:] {
-			if v == t {
-				dup = true
-				break
+		if seen != nil {
+			_, dup = seen[t]
+		} else {
+			for _, v := range out[base:] {
+				if v == t {
+					dup = true
+					break
+				}
 			}
 		}
 		if dup {
-			out = append(out, j)
-		} else {
-			out = append(out, t)
+			t = j
+		}
+		out = append(out, t)
+		if seen != nil {
+			seen[t] = struct{}{}
 		}
 	}
 	return out
 }
+
+// floydScanThreshold is the fanout size above which Floyd trades the
+// linear duplicate scan for a set. The crossover sits well above the
+// paper's default fanouts, so the common path stays allocation-free.
+const floydScanThreshold = 64
 
 // SortDedup sorts xs ascending and removes duplicates in place,
 // returning the shortened slice. This is the between-layer frontier

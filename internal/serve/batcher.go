@@ -19,7 +19,8 @@ type job struct {
 	targets  []uint32
 	fanouts  []int
 	seed     uint64
-	features bool // run the feature stage for this chunk
+	features bool   // run the feature stage for this chunk
+	strategy string // draw strategy (validated at admission; "" = server default)
 	enq      time.Time
 	chunk    int
 	req      *request
@@ -29,8 +30,15 @@ func (j *job) finish(b *core.Batch, err error) { j.req.jobDone(j.chunk, b, err) 
 
 // request tracks the fan-out/fan-in of one API call across its chunk
 // jobs: results land by chunk index, the first error wins, and done
-// closes when the last job reports in.
+// closes when the last job reports in. The first error also cancels
+// the request's job context, so sibling chunks still queued behind it
+// are skipped by the pool (dead-context check) instead of burning
+// worker time on a response that is already doomed.
 type request struct {
+	// cancel kills the context the request's jobs carry. May be nil in
+	// tests that construct requests directly.
+	cancel context.CancelFunc
+
 	mu      sync.Mutex
 	batches []*core.Batch
 	err     error
@@ -38,8 +46,9 @@ type request struct {
 	done    chan struct{}
 }
 
-func newRequest(chunks int) *request {
+func newRequest(chunks int, cancel context.CancelFunc) *request {
 	return &request{
+		cancel:  cancel,
 		batches: make([]*core.Batch, chunks),
 		remain:  chunks,
 		done:    make(chan struct{}),
@@ -48,13 +57,19 @@ func newRequest(chunks int) *request {
 
 func (r *request) jobDone(chunk int, b *core.Batch, err error) {
 	r.mu.Lock()
-	if err != nil && r.err == nil {
+	first := err != nil && r.err == nil
+	if first {
 		r.err = err
 	}
 	r.batches[chunk] = b
 	r.remain--
 	last := r.remain == 0
 	r.mu.Unlock()
+	if first && r.cancel != nil {
+		// First error wins and is already recorded, so canceling the
+		// siblings here can never replace it with context.Canceled.
+		r.cancel()
+	}
 	if last {
 		close(r.done)
 	}

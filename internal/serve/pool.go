@@ -137,7 +137,7 @@ func (p *pool) run(slot int) {
 			}
 			p.met.queueWait.Observe(time.Since(j.enq).Nanoseconds())
 			t0 := time.Now()
-			b, err := w.SampleBatchOpts(j.targets, core.BatchOpts{Fanouts: j.fanouts, Seed: j.seed, Features: j.features})
+			b, err := w.SampleBatchOpts(j.targets, core.BatchOpts{Fanouts: j.fanouts, Seed: j.seed, Features: j.features, Strategy: j.strategy})
 			p.met.sampleLat.Observe(time.Since(t0).Nanoseconds())
 			j.finish(b, err)
 			if err != nil && w.Broken() {

@@ -135,6 +135,7 @@ func referenceBatches(t *testing.T, ds *storage.Dataset, coreCfg core.Config, ba
 			Fanouts:  fanouts,
 			Seed:     sample.Mix(req.Seed, uint64(ci)),
 			Features: req.Features,
+			Strategy: req.Strategy,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -851,6 +852,115 @@ func TestServeValidation(t *testing.T) {
 	}
 	if got := metricValue(t, body, "ringsampler_io_reads_total"); got != 0 {
 		t.Fatalf("validation failures reached the engine: %v reads", got)
+	}
+}
+
+// TestServeStrategy: the request body's "strategy" field selects the
+// draw strategy per request — responses must be byte-identical to a
+// direct core run under the same strategy, strategies must coexist in
+// one server (they coalesce into the same micro-batches), and unknown
+// names are 400s that never reach the rings.
+func TestServeStrategy(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendPool
+	cfg.Core.Threads = 2
+	cfg.Core.BatchSize = 64
+	cfg.BatchWindow = time.Millisecond
+	_, base := startServer(t, ds, cfg)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	rng := sample.NewRNG(19)
+	targets := make([]uint32, 150) // spans 3 chunks
+	for j := range targets {
+		targets[j] = rng.Uint32n(uint32(ds.NumNodes()))
+	}
+
+	digests := make(map[string]string)
+	for _, strat := range []string{"", core.StrategyUniform, core.StrategyWalk, core.StrategyWeighted} {
+		req := sampleRequest{Targets: targets, Fanouts: []int{6, 4}, Seed: 31, Strategy: strat}
+		st, data := postSample(t, client, base, req)
+		if st != http.StatusOK {
+			t.Fatalf("strategy %q: status %d: %s", strat, st, data)
+		}
+		want := referenceBatches(t, ds, cfg.Core, cfg.Backend, req, cfg.Core.BatchSize)
+		assertResponseMatches(t, fmt.Sprintf("strategy %q", strat), data, want)
+		var resp sampleResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		digests[strat] = resp.Digest
+	}
+	// "" and "uniform" are the same strategy; the others draw
+	// differently from the same seed.
+	if digests[""] != digests[core.StrategyUniform] {
+		t.Fatal("empty strategy does not default to uniform")
+	}
+	if digests[core.StrategyWalk] == digests[core.StrategyUniform] ||
+		digests[core.StrategyWeighted] == digests[core.StrategyUniform] {
+		t.Fatal("non-uniform strategy produced the uniform digest — the field was ignored")
+	}
+
+	readsBefore := metricValue(t, scrapeMetrics(t, client, base), "ringsampler_io_reads_total")
+	st, data := postSample(t, client, base, sampleRequest{
+		Targets: []uint32{1, 2, 3}, Fanouts: []int{5}, Seed: 1, Strategy: "bogus",
+	})
+	if st != http.StatusBadRequest {
+		t.Fatalf("unknown strategy: status %d, want 400: %s", st, data)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "bogus") || !strings.Contains(er.Error, core.StrategyWalk) {
+		t.Fatalf("strategy error %q names neither the bad name nor the known ones", er.Error)
+	}
+	body := scrapeMetrics(t, client, base)
+	if got := metricValue(t, body, "ringsampler_serve_bad_requests_total"); got != 1 {
+		t.Fatalf("bad_requests_total = %v, want 1", got)
+	}
+	if got := metricValue(t, body, "ringsampler_io_reads_total"); got != readsBefore {
+		t.Fatalf("rejected strategy request reached the engine: reads %v -> %v", readsBefore, got)
+	}
+}
+
+// TestServePoisonedChunkCancelsSiblings: when one chunk of a fanned-out
+// request fails, the request's surviving chunks must be canceled
+// instead of burning pool time on a response that is already doomed.
+// One worker, a 4-chunk request, and a ring that hard-fails every read:
+// chunk 0 poisons the request, so the pool must skip the other three
+// (counted as canceled jobs) rather than running them to failure too.
+func TestServePoisonedChunkCancelsSiblings(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendSim
+	cfg.Core.Threads = 1
+	cfg.Core.BatchSize = 64
+	cfg.Core.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+		return uring.NewFault(r, uring.FaultPlan{Seed: 5, HardErrRate: 1})
+	}
+	cfg.BatchWindow = time.Millisecond
+	_, base := startServer(t, ds, cfg)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	rng := sample.NewRNG(23)
+	targets := make([]uint32, 4*cfg.Core.BatchSize) // exactly 4 chunks
+	for j := range targets {
+		targets[j] = rng.Uint32n(uint32(ds.NumNodes()))
+	}
+	st, data := postSample(t, client, base, sampleRequest{Targets: targets, Fanouts: []int{6, 4}, Seed: 3})
+	if st != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: status %d, want 500: %s", st, data)
+	}
+
+	body := scrapeMetrics(t, client, base)
+	// The single slot runs the chunks in order: chunk 0 fails and
+	// cancels the request, chunks 1-3 must be skipped.
+	if got := metricValue(t, body, "ringsampler_serve_canceled_jobs_total"); got != 3 {
+		t.Fatalf("canceled_jobs_total = %v, want 3 (sibling chunks ran after the request died)", got)
+	}
+	if got := metricValue(t, body, "ringsampler_serve_responses_ok_total"); got != 0 {
+		t.Fatalf("responses_ok_total = %v, want 0", got)
 	}
 }
 

@@ -10,17 +10,23 @@
 // samplers destroy disk throughput, and a bounded queue that fast-fails
 // beats one that queues unboundedly.
 //
-//	POST /v1/sample  — {"targets":[...],"fanouts":[...],"seed":N} → layered samples
+//	POST /v1/sample  — {"targets":[...],"fanouts":[...],"seed":N,"strategy":"..."} → layered samples
 //	GET  /healthz    — liveness (503 while draining)
 //	GET  /metrics    — Prometheus text: queue depth, batch-size histogram,
 //	                   per-stage latency, ring IOStats, rejection counts
 //
-// Determinism contract: the response to (targets, fanouts, seed) is
-// byte-identical to a direct single-threaded core run — the request is
-// sharded into Core.BatchSize chunks and chunk i is sampled with RNG
-// seed sample.Mix(seed, i), exactly how core.RunEpoch seeds its
-// mini-batches — regardless of which micro-batch the chunks were
-// coalesced into or which pooled worker ran them.
+// The optional "strategy" field selects the draw strategy per request
+// (DESIGN.md §11: "uniform", "weighted", "walk"; empty means the
+// server default). Unknown names are rejected 400 at admission,
+// before any work is queued.
+//
+// Determinism contract: the response to (targets, fanouts, seed,
+// strategy) is byte-identical to a direct single-threaded core run —
+// the request is sharded into Core.BatchSize chunks and chunk i is
+// sampled with RNG seed sample.Mix(seed, i), exactly how
+// core.RunEpoch seeds its mini-batches — regardless of which
+// micro-batch the chunks were coalesced into or which pooled worker
+// ran them.
 package serve
 
 import (
@@ -262,6 +268,10 @@ type sampleRequest struct {
 	// Seed drives the request's sampling randomness; equal requests
 	// with equal seeds get byte-identical responses.
 	Seed uint64 `json:"seed"`
+	// Strategy names the draw strategy for this request ("uniform",
+	// "weighted", "walk"); empty uses the server's configured default.
+	// Unknown names are rejected with 400 before any work is queued.
+	Strategy string `json:"strategy,omitempty"`
 	// Features runs the feature stage per batch: each response batch
 	// carries the deduplicated node union and its raw f32 feature
 	// vectors (base64 in JSON). Also settable via the ?features=true
@@ -373,6 +383,10 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if !core.ValidStrategy(req.Strategy) {
+		s.badRequest(w, fmt.Sprintf("unknown strategy %q (known: %v)", req.Strategy, core.StrategyNames()))
+		return
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -386,6 +400,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// A forced drain cancels every in-flight request through baseCtx.
 	stopAfter := context.AfterFunc(s.baseCtx, cancel)
 	defer stopAfter()
+	// Jobs carry a child of the handler context: the first failing
+	// chunk cancels it (request.jobDone), so sibling chunks are skipped
+	// by the pool — while the handler keeps waiting on rq.done and
+	// reports the real error, not its own cancellation.
+	jobCtx, jobCancel := context.WithCancel(ctx)
+	defer jobCancel()
 
 	t0 := time.Now()
 	s.met.requests.Add(1)
@@ -399,7 +419,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// coalescing, worker identity, and pool size.
 	chunkSize := s.cfg.Core.BatchSize
 	numChunks := (len(req.Targets) + chunkSize - 1) / chunkSize
-	rq := newRequest(numChunks)
+	rq := newRequest(numChunks, jobCancel)
 	for ci := 0; ci < numChunks; ci++ {
 		lo := ci * chunkSize
 		hi := lo + chunkSize
@@ -407,11 +427,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			hi = len(req.Targets)
 		}
 		j := &job{
-			ctx:      ctx,
+			ctx:      jobCtx,
 			targets:  req.Targets[lo:hi],
 			fanouts:  fanouts,
 			seed:     sample.Mix(req.Seed, uint64(ci)),
 			features: req.Features,
+			strategy: req.Strategy,
 			enq:      time.Now(),
 			chunk:    ci,
 			req:      rq,

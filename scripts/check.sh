@@ -20,10 +20,11 @@ go build ./...
 
 # Thread-count invariance: the epoch runner must produce byte-identical
 # per-batch sample digests at Threads=1,2,8 (the test runs all three and
-# diffs the digest streams; -race also sweeps the fan-out for races).
-# Also part of the full suite below — run first so a determinism break
-# fails loudly and early.
-go test -race -run 'TestEpochThreadInvariance|TestEpochScalingInvariance' ./internal/core ./internal/exp
+# diffs the digest streams; -race also sweeps the fan-out for races),
+# and every sampling strategy must hold the same contract at
+# Threads=1,2,4. Also part of the full suite below — run first so a
+# determinism break fails loudly and early.
+go test -race -run 'TestEpochThreadInvariance|TestEpochScalingInvariance|TestStrategyThreadInvariance' ./internal/core ./internal/exp
 
 if [ "${QUICK:-0}" = "1" ]; then
     go test -race -short ./...
@@ -60,6 +61,20 @@ go run ./cmd/epoch -nodes 20000 -edges 300000 -feature-dim 16 \
     -threads 4 -targets 2048 -batch 256 \
     -bench-features benchdata/BENCH_features.json $feat_quick >/dev/null
 echo "wrote benchdata/BENCH_features.json"
+
+# Sampling-strategy sweep (DESIGN.md §11): run the same epoch workload
+# under each strategy (uniform, weighted, walk), enforcing per-strategy
+# digest identity between 1-thread and multi-thread runs before
+# emitting the point. Written as benchdata/BENCH_strategy.json; QUICK=1
+# keeps the uniform+walk pair (skips the alias-table build).
+strat_quick=""
+if [ "${QUICK:-0}" = "1" ]; then
+    strat_quick="-bench-strategy-quick"
+fi
+go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 \
+    -threads 4 -targets 2048 -batch 256 \
+    -bench-strategy benchdata/BENCH_strategy.json $strat_quick >/dev/null
+echo "wrote benchdata/BENCH_strategy.json"
 
 # Bench summary: epoch throughput (entries/s, bytes/s) and hot-neighbor
 # cache hit rate at budgets 0 and 64 MiB on the checked-in dataset,
