@@ -26,11 +26,23 @@
 // closed-loop load sweep (exp.ServeLoad) against an in-process server,
 // writing the machine-readable summary the bench harness tracks.
 //
+// Sharded serving (DESIGN.md §12): -shards N partitions the dataset by
+// node range into N shards, runs every shard in-process, and serves
+// the same /v1/sample API through the scatter/gather router — responses
+// are byte-identical to a single-node run. -router url1,url2 instead
+// fronts already-running shard servers (each a plain `serve -data
+// <shard-dir>` whose dataset is one shard) over HTTP. -bench-shard-json
+// runs the shard sweep (exp.ShardSweep): conformance at every shard
+// count, then closed-loop throughput.
+//
 // Usage:
 //
 //	go run ./cmd/serve -data benchdata/bench/ogbn-papers-div20000 -addr :8080 -threads 8
 //	go run ./cmd/serve -addr 127.0.0.1:8080        # temporary R-MAT graph
 //	go run ./cmd/serve -bench-json benchdata/BENCH_serve.json
+//	go run ./cmd/serve -shards 4                   # partitioned, router-fronted
+//	go run ./cmd/serve -router http://s0:8080,http://s1:8080
+//	go run ./cmd/serve -bench-shard-json benchdata/BENCH_shard.json
 package main
 
 import (
@@ -50,9 +62,11 @@ import (
 	"syscall"
 	"time"
 
+	"ringsampler/internal/core"
 	"ringsampler/internal/exp"
 	"ringsampler/internal/gen"
 	"ringsampler/internal/serve"
+	"ringsampler/internal/shard"
 	"ringsampler/internal/storage"
 	"ringsampler/internal/uring"
 )
@@ -83,7 +97,10 @@ func run(args []string, out io.Writer) error {
 		backend      = fs.String("backend", "auto", "ring backend: auto, io_uring, pool, sim")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max graceful-drain wait on SIGINT/SIGTERM")
 		benchJSON    = fs.String("bench-json", "", "run the closed-loop load sweep instead of serving; write the JSON summary to this file")
+		benchShard   = fs.String("bench-shard-json", "", "run the shard conformance+throughput sweep instead of serving; write the JSON summary to this file")
 		benchQuick   = fs.Bool("bench-quick", false, "shrink the load sweep to a smoke-test size")
+		shards       = fs.Int("shards", 0, "partition the dataset into this many node-range shards and serve through the scatter/gather router (0: single-node)")
+		routerURLs   = fs.String("router", "", "comma-separated shard server base URLs to front as a router (no local dataset)")
 		uringFixed   = fs.Bool("uring-fixed", false, "register worker arenas and read via IORING_OP_READ_FIXED (emulated on pool/sim)")
 		uringReg     = fs.Bool("uring-regfiles", false, "register the edge file and submit with IOSQE_FIXED_FILE (real backend only)")
 		uringSQP     = fs.Bool("uring-sqpoll", false, "create SQPOLL rings: kernel-thread submission (real backend only)")
@@ -108,6 +125,51 @@ func run(args []string, out io.Writer) error {
 	be, err := pickBackend(*backend)
 	if err != nil {
 		return err
+	}
+	if *routerURLs != "" && (*shards != 0 || *data != "" || *benchJSON != "" || *benchShard != "") {
+		return fmt.Errorf("-router fronts remote shard servers and combines with none of -shards/-data/-bench-json/-bench-shard-json")
+	}
+	if *shards < 0 || *shards == 1 {
+		return fmt.Errorf("-shards %d: need 0 (single-node) or ≥ 2", *shards)
+	}
+
+	if *routerURLs != "" {
+		// Pure router mode: resolve each shard's identity over HTTP and
+		// serve the scatter/gather front end — no local graph bytes.
+		cfg := serve.DefaultConfig()
+		cfg.Backend = be
+		if *threads > 0 {
+			cfg.Core.Threads = *threads
+		}
+		if *batch > 0 {
+			cfg.Core.BatchSize = *batch
+		}
+		var engines []shard.Engine
+		for _, u := range strings.Split(*routerURLs, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			eng, err := shard.NewRemote(context.Background(), u, nil)
+			if err != nil {
+				return err
+			}
+			engines = append(engines, eng)
+			info := eng.Info()
+			fmt.Fprintf(out, "shard %d/%d at %s: nodes [%d,%d)\n", info.Index, info.Total, u, info.Lo, info.Hi)
+		}
+		srv, err := serve.NewRouter(engines, cfg)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		rt := srv.Router()
+		fmt.Fprintf(out, "routing %d shards: %d nodes, %d edges\n", rt.Shards(), rt.NumNodes(), rt.NumEdges())
+		fmt.Fprintf(out, "serving on http://%s\n", ln.Addr())
+		return serveLoop(out, srv, ln, *drainTimeout)
 	}
 
 	dir := *data
@@ -157,8 +219,60 @@ func run(args []string, out io.Writer) error {
 		cfg.MaxBatchTargets = *maxBatch
 	}
 
+	if *benchShard != "" {
+		ds.Close()
+		return runShardBench(out, dir, cfg, *benchShard, *benchQuick)
+	}
 	if *benchJSON != "" {
 		return runBench(out, ds, cfg, *benchJSON, *benchQuick)
+	}
+
+	if *shards >= 2 {
+		// Sharded-local mode: partition by node range, run every shard
+		// in-process, serve through the router. Responses stay
+		// byte-identical to the single-node server over the same files.
+		tmp, err := os.MkdirTemp("", "ringsampler-shards-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		fmt.Fprintf(out, "partitioning %s into %d shards ...\n", dir, *shards)
+		dirs, err := gen.Partition(dir, tmp, *shards)
+		if err != nil {
+			return err
+		}
+		ds.Close() // the shards carry their own handles
+		engines := make([]shard.Engine, len(dirs))
+		for i, sdir := range dirs {
+			sds, err := storage.OpenWith(sdir, storage.OpenOptions{Direct: *odirect})
+			if err != nil {
+				return err
+			}
+			defer sds.Close()
+			scfg := cfg.Core
+			if !sds.HasFeatures() {
+				scfg.FeatureCacheBudgetBytes = 0
+			}
+			eng, err := shard.NewLocal(sds, scfg, cfg.Backend)
+			if err != nil {
+				return err
+			}
+			engines[i] = eng
+			lo, hi := sds.ShardRange()
+			fmt.Fprintf(out, "shard %d/%d: nodes [%d,%d)\n", i, len(dirs), lo, hi)
+		}
+		srv, err := serve.NewRouter(engines, cfg)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		rt := srv.Router()
+		fmt.Fprintf(out, "routing %d shards: %d nodes, %d edges; backend %s\n", rt.Shards(), rt.NumNodes(), rt.NumEdges(), cfg.Backend)
+		fmt.Fprintf(out, "serving on http://%s\n", ln.Addr())
+		return serveLoop(out, srv, ln, *drainTimeout)
 	}
 
 	srv, err := serve.New(ds, cfg)
@@ -174,12 +288,28 @@ func run(args []string, out io.Writer) error {
 	if ds.HasFeatures() {
 		fmt.Fprintf(out, "features: %d-dim f32 per node; request them with POST /v1/sample?features=true\n", ds.FeatureDim())
 	}
+	if ds.IsSharded() {
+		lo, hi := ds.ShardRange()
+		fmt.Fprintf(out, "dataset is shard %d/%d (nodes [%d,%d)): serving /v1/shard/* for a router\n",
+			ds.ShardIndex(), ds.NumShards(), lo, hi)
+	}
 	fmt.Fprintf(out, "serving on http://%s (%d workers, queue %d, window %v)\n",
 		ln.Addr(), eff.Core.Threads, eff.QueueDepth, eff.BatchWindow)
+	return serveLoop(out, srv, ln, *drainTimeout)
+}
 
-	// Graceful drain: the first SIGINT/SIGTERM stops admission and lets
-	// in-flight requests finish; the drain is bounded by -drain-timeout,
-	// and a second signal force-cancels immediately.
+// server is the surface the drain loop needs; serve.Server and
+// serve.RouterServer both provide it.
+type server interface {
+	Serve(net.Listener) error
+	Shutdown(context.Context) error
+	IOStats() core.IOStats
+}
+
+// serveLoop serves until SIGINT/SIGTERM, then drains gracefully. The
+// first signal stops admission and lets in-flight requests finish
+// (bounded by drainTimeout); a second signal force-cancels.
+func serveLoop(out io.Writer, srv server, ln net.Listener, drainTimeout time.Duration) error {
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
@@ -190,8 +320,8 @@ func run(args []string, out io.Writer) error {
 	case <-sigCtx.Done():
 	}
 	stop() // restore default handling: a second signal kills the drain
-	fmt.Fprintf(out, "signal received, draining (timeout %v) ...\n", *drainTimeout)
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	fmt.Fprintf(out, "signal received, draining (timeout %v) ...\n", drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	shutErr := srv.Shutdown(ctx)
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -241,6 +371,49 @@ func runBench(out io.Writer, ds *storage.Dataset, cfg serve.Config, path string,
 		return err
 	}
 	fmt.Fprintf(out, "load sweep written to %s\n", path)
+	return nil
+}
+
+// runShardBench runs the shard conformance + throughput sweep over the
+// dataset directory and writes benchdata/BENCH_shard.json-shaped
+// output. Every shard count is digest-checked against the single-node
+// baseline before it is timed; a divergence aborts the sweep.
+func runShardBench(out io.Writer, dir string, cfg serve.Config, path string, quick bool) error {
+	sc := exp.ShardSweepConfig{
+		Serve:             cfg,
+		Shards:            []int{1, 2, 4},
+		Clients:           16,
+		RequestsPerClient: 16,
+		TargetsPerRequest: 256,
+		Fanouts:           []int{10, 10, 5},
+		Seed:              7,
+	}
+	if quick {
+		sc.Shards = []int{1, 2}
+		sc.Clients = 4
+		sc.RequestsPerClient = 4
+		sc.TargetsPerRequest = 64
+		sc.Fanouts = []int{5, 5}
+	}
+	res, err := exp.ShardSweep(dir, sc)
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		fmt.Fprintf(out, "shards %d: conformance %d/%d ok; %6.1f req/s  p50 %7.2fms  p99 %7.2fms  (%d ok / %d total in %.2fs)\n",
+			p.Shards, p.ConformanceRequests, p.ConformanceRequests, p.Throughput, p.P50MS, p.P99MS, p.OK, p.Requests, p.Seconds)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shard sweep written to %s\n", path)
 	return nil
 }
 

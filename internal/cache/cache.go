@@ -28,6 +28,22 @@ type Graph interface {
 	ReadAt(p []byte, off int64) (int, error)
 }
 
+// Owner is optionally implemented by graphs that hold only a node
+// range's bytes (shard datasets). The builders restrict candidates to
+// owned nodes — only their bytes are readable locally, and the caches
+// are pure I/O bypasses, so membership never affects sampled output.
+type Owner interface {
+	Owns(v uint32) bool
+}
+
+// ownsFn returns g's ownership predicate, or an always-true one.
+func ownsFn(g any) func(uint32) bool {
+	if o, ok := g.(Owner); ok {
+		return o.Owns
+	}
+	return func(uint32) bool { return true }
+}
+
 // EntryBytes is the on-disk size of one neighbor entry (little-endian
 // u32), mirrored from the storage layout so this package does not
 // depend on it.
@@ -74,10 +90,11 @@ func Build(g Graph, budget *memctl.Budget) (*Hot, error) {
 		id  uint32
 		deg int64
 	}
+	owns := ownsFn(g)
 	cands := make([]cand, 0, numNodes)
 	for v := int64(0); v < numNodes; v++ {
 		st, en := g.Range(uint32(v))
-		if deg := en - st; deg > 0 {
+		if deg := en - st; deg > 0 && owns(uint32(v)) {
 			cands = append(cands, cand{id: uint32(v), deg: deg})
 		}
 	}

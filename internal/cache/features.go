@@ -47,10 +47,14 @@ func BuildFeatures(g FeatureSource, budget *memctl.Budget) (*Hot, error) {
 	}
 	// Unlike neighbor lists, every node has a feature vector — degree-0
 	// nodes are candidates too (they can appear as layer-0 targets).
+	// Shard sources restrict candidates to owned nodes (see Owner).
+	owns := ownsFn(g)
 	cands := make([]cand, 0, numNodes)
 	for v := int64(0); v < numNodes; v++ {
 		st, en := g.Range(uint32(v))
-		cands = append(cands, cand{id: uint32(v), deg: en - st})
+		if owns(uint32(v)) {
+			cands = append(cands, cand{id: uint32(v), deg: en - st})
+		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].deg != cands[j].deg {

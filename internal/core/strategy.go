@@ -128,6 +128,16 @@ func (s weightedStrategy) Draw(rng *sample.RNG, v uint32, deg, k int, out []int)
 			}
 			out = append(out, idx)
 		}
+	} else if s.tables.isPhantom(v) {
+		// Shard mode: v is tabled on its owning shard, so consume the
+		// same two variates per pick to keep the chunk stream aligned;
+		// the placeholder picks are never read (the node is non-owned,
+		// its span is zero-filled and overlaid by the router).
+		for i := 0; i < k; i++ {
+			rng.Intn(deg)
+			rng.Float64()
+			out = append(out, 0)
+		}
 	} else {
 		// Untabled (tail) nodes: their neighbors' degrees are
 		// near-uniform on skewed graphs, so a uniform draw is the

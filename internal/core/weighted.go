@@ -37,9 +37,18 @@ type aliasTable struct {
 // without a table (the long tail that did not fit the budget) draw
 // uniformly. Immutable after buildAliasSet, so workers consult it with
 // no synchronization.
+//
+// On a shard dataset, phantom records the tabled nodes whose edge
+// bytes live on other shards: table SELECTION is a pure function of the
+// global offset index (present on every shard), but table CONTENTS need
+// the node's neighbor list. A phantom node's draws consume the same two
+// variates per pick as a real table — keeping the chunk's RNG stream
+// bit-identical across the partition — with the pick values discarded,
+// because the owning shard computes the real ones.
 type aliasSet struct {
-	tables map[uint32]aliasTable
-	bytes  int64 // charged slot bytes (excluding per-node overhead)
+	tables  map[uint32]aliasTable
+	phantom map[uint32]struct{}
+	bytes   int64 // charged slot bytes (excluding per-node overhead)
 }
 
 func (a *aliasSet) lookup(v uint32) (aliasTable, bool) {
@@ -48,6 +57,14 @@ func (a *aliasSet) lookup(v uint32) (aliasTable, bool) {
 	}
 	t, ok := a.tables[v]
 	return t, ok
+}
+
+func (a *aliasSet) isPhantom(v uint32) bool {
+	if a == nil {
+		return false
+	}
+	_, ok := a.phantom[v]
+	return ok
 }
 
 // buildAliasSet assembles degree-biased alias tables under the
@@ -115,6 +132,16 @@ func buildAliasSet(ds *storage.Dataset) (*aliasSet, error) {
 	var listBuf []byte
 	weights := make([]float64, 0, 256)
 	for _, c := range picked {
+		if !ds.Owns(c.id) {
+			// Selected under the identical global rule, but the list bytes
+			// live on another shard: record a phantom so draws consume the
+			// stream without fabricating contents.
+			if set.phantom == nil {
+				set.phantom = make(map[uint32]struct{})
+			}
+			set.phantom[c.id] = struct{}{}
+			continue
+		}
 		st, _ := ds.Range(c.id)
 		n := c.deg * storage.EntryBytes
 		if int64(cap(listBuf)) < n {

@@ -98,6 +98,12 @@ func New(ds *storage.Dataset, cfg Config, backend uring.Backend) (*Sampler, erro
 	if cfg.FeatureCacheBudgetBytes > 0 && !ds.HasFeatures() {
 		return nil, fmt.Errorf("core: feature cache budget set but dataset %s has no feature file", ds.Dir())
 	}
+	if ds.IsSharded() && !cfg.OffsetSampling {
+		// Full-fetch reads every frontier node's complete list; a shard
+		// only stores its owned nodes' lists, so the ablation baseline is
+		// a single-node-only mode.
+		return nil, fmt.Errorf("core: shard dataset %s requires OffsetSampling", ds.Dir())
+	}
 	s := &Sampler{ds: ds, cfg: cfg, backend: backend}
 	s.active = resolveKnobs(&s.cfg, backend, ds)
 	if cfg.CacheBudgetBytes > 0 {
@@ -198,6 +204,7 @@ type rio struct {
 	ring       uring.Ring
 	align      int   // O_DIRECT transfer granularity (0 = buffered handle)
 	entryBytes int64 // bytes per run entry (edge entry or feature record)
+	entryBase  int64 // global entry index of the file's first local entry (shard datasets; 0 otherwise)
 
 	// reads/bytesRead point at the IOStats counters this driver's
 	// completed reads accumulate into (Reads/BytesRead for the edge
@@ -249,6 +256,11 @@ type cachedPick struct {
 	bufPos int64
 	src    []byte
 }
+
+// zeroEntry is the placeholder bytes a shard writes for a non-owned
+// node's pick (never read back as a neighbor value: the router replaces
+// the span with the owning shard's bytes).
+var zeroEntry = make([]byte, storage.EntryBytes)
 
 // ioRun is one coalesced read: `entries` consecutive file entries
 // (edge entries or feature records, per the issuing rio's stride)
@@ -309,6 +321,7 @@ func (s *Sampler) NewWorker(id int) (*Worker, error) {
 		w: w, ring: ring,
 		align:      s.ds.DirectAlign(),
 		entryBytes: storage.EntryBytes,
+		entryBase:  s.ds.EntryBase(),
 		reads:      &w.stats.Reads,
 		bytesRead:  &w.stats.BytesRead,
 	}
@@ -339,11 +352,14 @@ func (w *Worker) openRing(f *os.File) (uring.Ring, error) {
 		return nil, err
 	}
 	if s.cfg.WrapRing != nil {
-		ring, err = s.cfg.WrapRing(ring, w.id)
-		if err != nil {
+		wrapped, werr := s.cfg.WrapRing(ring, w.id)
+		if werr != nil {
+			// Close the inner ring, not the hook's return value — a
+			// failing hook typically returns nil.
 			ring.Close()
-			return nil, fmt.Errorf("core: wrap worker %d ring: %w", w.id, err)
+			return nil, fmt.Errorf("core: wrap worker %d ring: %w", w.id, werr)
 		}
+		ring = wrapped
 	}
 	return ring, nil
 }
@@ -376,10 +392,12 @@ func (w *Worker) ensureFeat() error {
 	if err != nil {
 		return fmt.Errorf("core: worker %d feature ring: %w", w.id, err)
 	}
+	featBase, _ := ds.ShardRange()
 	w.feat = rio{
 		w: w, ring: ring,
 		align:      ds.FeatureAlign(),
 		entryBytes: ds.FeatureStride(),
+		entryBase:  featBase,
 		reads:      &w.stats.FeatReads,
 		bytesRead:  &w.stats.FeatBytesRead,
 	}
@@ -496,6 +514,13 @@ func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool, str
 	if w.broken {
 		return nil, fmt.Errorf("core: worker %d: %w", w.id, ErrWorkerBroken)
 	}
+	if w.s.ds.IsSharded() {
+		// A shard can replay any layer's draws (SampleLayer) but cannot
+		// produce whole batches alone: later frontiers contain nodes whose
+		// bytes live on other shards. The router composes batches.
+		return nil, fmt.Errorf("core: dataset %s is shard %d/%d; whole-batch sampling needs the router (see SampleLayer)",
+			w.s.ds.Dir(), w.s.ds.ShardIndex(), w.s.ds.NumShards())
+	}
 	cfg := &w.s.cfg
 	batch := &Batch{Layers: make([]Layer, len(fanouts))}
 	w.frontier = append(w.frontier[:0], targets...)
@@ -535,6 +560,7 @@ func (w *Worker) sampleBatch(targets []uint32, fanouts []int, features bool, str
 func (w *Worker) sampleLayerOffset(layer *Layer, fanout int, strat Strategy) error {
 	ds := w.s.ds
 	hot := w.s.hot
+	sharded := ds.IsSharded()
 	layer.Targets = append([]uint32(nil), w.frontier...)
 	layer.Starts = make([]int64, len(w.frontier)+1)
 	w.runs = w.runs[:0]
@@ -552,6 +578,21 @@ func (w *Worker) sampleLayerOffset(layer *Layer, fanout int, strat Strategy) err
 			k = deg
 		}
 		w.idxs = strat.Draw(&w.rng, v, deg, k, w.idxs[:0])
+		if sharded && !ds.Owns(v) {
+			// Non-owned node on a shard: the draws above already consumed
+			// the exact RNG stream (degrees come from the global offset
+			// index), but the neighbor bytes live on another shard.
+			// Zero-fill the span so Starts stay layout-identical; the
+			// router overlays the owning shard's bytes (DESIGN.md §12).
+			for range w.idxs {
+				w.cachedPicks = append(w.cachedPicks, cachedPick{
+					bufPos: total * storage.EntryBytes,
+					src:    zeroEntry,
+				})
+				total++
+			}
+			continue
+		}
 		if nb := hot.Lookup(v); nb != nil {
 			for _, idx := range w.idxs {
 				w.cachedPicks = append(w.cachedPicks, cachedPick{
@@ -714,14 +755,18 @@ func (w *Worker) featuresFor(nodes []uint32) ([]byte, error) {
 		return nil, err
 	}
 	stride := w.feat.entryBytes
-	numNodes := ds.NumNodes()
+	// On a shard dataset only the owned range's vectors are present;
+	// the router scatters feature fetches by ownership, so a non-owned
+	// node here is a caller bug, rejected before any I/O. Unsharded,
+	// the range is [0, NumNodes) and this is the plain bounds check.
+	ownLo, ownHi := ds.ShardRange()
 	hot := w.s.featHot
 	w.runs = w.runs[:0]
 	w.cachedPicks = w.cachedPicks[:0]
 	var total int64
 	for _, v := range nodes {
-		if int64(v) >= numNodes {
-			return nil, fmt.Errorf("core: feature fetch for node %d outside [0,%d)", v, numNodes)
+		if int64(v) < ownLo || int64(v) >= ownHi {
+			return nil, fmt.Errorf("core: feature fetch for node %d outside [%d,%d)", v, ownLo, ownHi)
 		}
 		if fb := hot.Lookup(v); fb != nil {
 			w.cachedPicks = append(w.cachedPicks, cachedPick{bufPos: total * stride, src: fb})
@@ -954,7 +999,10 @@ func (r *rio) withinDepth(staged int) bool {
 // the same id later starts clean.
 func (r *rio) stageNew(id int, runs []ioRun, buf []byte) bool {
 	run := &runs[id]
-	intOff := run.entryStart * r.entryBytes
+	// Runs are planned in GLOBAL entry coordinates; on a shard dataset
+	// the local file starts at entryBase, so the file offset subtracts it
+	// (zero when unsharded). The planner only emits runs for owned nodes.
+	intOff := (run.entryStart - r.entryBase) * r.entryBytes
 	intLen := int64(run.entries) * r.entryBytes
 	rq := &r.reqs[id]
 	if r.align == 0 {

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ringsampler/internal/gen"
+	"ringsampler/internal/serve"
+	"ringsampler/internal/uring"
+)
+
+// TestShardSweepSmoke runs the sharded-serving sweep at smoke size:
+// shard counts 1 and 2 over a small featureful graph. The sweep itself
+// enforces digest conformance against the single-node baseline — any
+// divergence is an error, so this test passing IS the conformance
+// check at the exp layer.
+func TestShardSweepSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "g")
+	if _, err := gen.GenerateWith(dir, "sweep", "rmat", 2_000, 30_000, 11, gen.Options{FeatureDim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	scfg := serve.DefaultConfig()
+	scfg.Backend = uring.BackendPool
+	scfg.Core.Threads = 2
+	scfg.Core.BatchSize = 64
+	scfg.Core.CacheBudgetBytes = 32 << 10
+	scfg.Core.FeatureCacheBudgetBytes = 32 << 10
+
+	res, err := ShardSweep(dir, ShardSweepConfig{
+		Serve:             scfg,
+		Shards:            []int{1, 2},
+		Clients:           2,
+		RequestsPerClient: 4,
+		TargetsPerRequest: 96,
+		Fanouts:           []int{6, 4},
+		Seed:              17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("sweep has %d points, want 2", len(res.Points))
+	}
+	if !res.Features {
+		t.Fatal("sweep did not detect the feature file")
+	}
+	for _, p := range res.Points {
+		// strategies × {plain, features} requests, all digest-checked.
+		if want := len(res.Strategies) * 2; p.ConformanceRequests != want {
+			t.Fatalf("%d shards: %d conformance requests, want %d", p.Shards, p.ConformanceRequests, want)
+		}
+		if p.OK != p.Requests {
+			t.Fatalf("%d shards: only %d/%d load requests succeeded", p.Shards, p.OK, p.Requests)
+		}
+		if p.Throughput <= 0 || p.P50MS <= 0 {
+			t.Fatalf("%d shards: empty throughput stats: %+v", p.Shards, p)
+		}
+	}
+
+	// The baseline must come first: starting at 2 shards has nothing to
+	// conform against.
+	if _, err := ShardSweep(dir, ShardSweepConfig{
+		Serve: scfg, Shards: []int{2}, Clients: 1, RequestsPerClient: 1, TargetsPerRequest: 8, Seed: 1,
+	}); err == nil {
+		t.Fatal("sweep accepted a shard list without the 1-shard baseline")
+	}
+}

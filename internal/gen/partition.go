@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ringsampler/internal/storage"
+)
+
+// Partition slices the dataset in srcDir into `shards` node-range shard
+// datasets under dstRoot (DESIGN.md §12): shard i owns the contiguous
+// node range [cut[i], cut[i+1]) chosen so that edge entries — the bytes
+// the ring actually reads — are balanced across shards, not node
+// counts. Every shard gets the FULL offset index (node-proportional,
+// the same in-memory structure a single node holds) plus only its own
+// slice of edges.dat and features.bin, with the manifest's BinBytes,
+// FeatBytes, and FeatChecksum recomputed for the local files.
+//
+// The slicing is pure byte copying — no re-encoding — so a shard's
+// bytes for an owned node are identical to the single-node dataset's,
+// which is half of the scatter/gather determinism argument. Returns the
+// shard directories in shard order; each is re-opened through the full
+// storage validation before returning. Deterministic for a fixed
+// source dataset.
+func Partition(srcDir, dstRoot string, shards int) ([]string, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("gen: shard count %d must be positive", shards)
+	}
+	ds, err := storage.Open(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+	if ds.IsSharded() {
+		return nil, fmt.Errorf("gen: %s is already shard %d/%d; partition the unsharded dataset", srcDir, ds.ShardIndex(), ds.NumShards())
+	}
+	man := ds.Manifest()
+	numNodes, numEdges := ds.NumNodes(), ds.NumEdges()
+
+	// entryAt(v) is the global entry index where node v's list begins
+	// (== total entries when v == numNodes).
+	entryAt := func(v int64) int64 {
+		if v >= numNodes {
+			return numEdges
+		}
+		st, _ := ds.Range(uint32(v))
+		return st
+	}
+	// cuts[i] = first node of shard i: the smallest v whose list begins
+	// at or after the i-th equal slice of the edge entries. Monotone
+	// because the targets and the offset index both are. Shards of a
+	// tiny or extremely skewed graph may own zero nodes; that is valid.
+	cuts := make([]int64, shards+1)
+	cuts[shards] = numNodes
+	for i := 1; i < shards; i++ {
+		target := numEdges * int64(i) / int64(shards)
+		cuts[i] = int64(sort.Search(int(numNodes), func(v int) bool {
+			return entryAt(int64(v)) >= target
+		}))
+	}
+
+	stride := ds.FeatureStride()
+	dirs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		sdir := filepath.Join(dstRoot, fmt.Sprintf("shard-%d-of-%d", i, shards))
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			return nil, err
+		}
+		entLo, entHi := entryAt(lo), entryAt(hi)
+		if err := copySlice(
+			filepath.Join(srcDir, storage.EdgesFile),
+			filepath.Join(sdir, storage.EdgesFile),
+			entLo*storage.EntryBytes, entHi*storage.EntryBytes); err != nil {
+			return nil, err
+		}
+		if err := copySlice(
+			filepath.Join(srcDir, storage.OffsetsFile),
+			filepath.Join(sdir, storage.OffsetsFile),
+			0, (numNodes+1)*storage.OffsetBytes); err != nil {
+			return nil, err
+		}
+		sman := man
+		sman.BinBytes = (entHi - entLo) * storage.EntryBytes
+		sman.NumShards = shards
+		sman.ShardIndex = i
+		sman.ShardLo = lo
+		sman.ShardHi = hi
+		sman.CreatedAt = time.Time{} // deterministic output
+		if ds.HasFeatures() {
+			featPath := filepath.Join(sdir, storage.FeaturesFile)
+			if err := copySlice(filepath.Join(srcDir, storage.FeaturesFile), featPath, lo*stride, hi*stride); err != nil {
+				return nil, err
+			}
+			sman.FeatBytes = (hi - lo) * stride
+			sman.FeatChecksum, err = storage.ChecksumFile(featPath)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := sman.Save(filepath.Join(sdir, storage.ManifestFile)); err != nil {
+			return nil, err
+		}
+		// Round-trip through the strict open-time validation so a
+		// partitioner bug surfaces here, not as a short read mid-serve.
+		sds, err := storage.Open(sdir)
+		if err != nil {
+			return nil, fmt.Errorf("gen: partition self-check: %w", err)
+		}
+		sds.Close()
+		dirs[i] = sdir
+	}
+	return dirs, nil
+}
+
+// copySlice copies src[lo:hi) into a new file at dst.
+func copySlice(src, dst string, lo, hi int64) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, io.NewSectionReader(in, lo, hi-lo)); err != nil {
+		out.Close()
+		return fmt.Errorf("gen: copy %s[%d:%d): %w", src, lo, hi, err)
+	}
+	return out.Close()
+}

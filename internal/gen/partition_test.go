@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringsampler/internal/storage"
+)
+
+// TestPartitionCoversGraphAndPreservesBytes: shard ranges tile
+// [0, NumNodes) contiguously, every owned node's edge list and feature
+// vector read back byte-identical to the single-node dataset through
+// the global-offset API, and non-owned reads fail rather than return
+// wrong bytes.
+func TestPartitionCoversGraphAndPreservesBytes(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "g")
+	if _, err := GenerateWith(src, "part", "rmat", 2000, 30_000, 11, Options{FeatureDim: 5}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := storage.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+
+	for _, shards := range []int{1, 2, 3, 4} {
+		dirs, err := Partition(src, filepath.Join(t.TempDir(), "shards"), shards)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if len(dirs) != shards {
+			t.Fatalf("%d shards: got %d dirs", shards, len(dirs))
+		}
+		next := int64(0)
+		for i, dir := range dirs {
+			sd, err := storage.Open(dir)
+			if err != nil {
+				t.Fatalf("open shard %d: %v", i, err)
+			}
+			lo, hi := sd.ShardRange()
+			if lo != next {
+				t.Fatalf("shard %d starts at %d, want %d (gap/overlap)", i, lo, next)
+			}
+			next = hi
+			if !sd.IsSharded() || sd.NumShards() != shards || sd.ShardIndex() != i {
+				t.Fatalf("shard %d identity: sharded=%v %d/%d", i, sd.IsSharded(), sd.ShardIndex(), sd.NumShards())
+			}
+			if sd.NumNodes() != full.NumNodes() || sd.NumEdges() != full.NumEdges() {
+				t.Fatalf("shard %d global counts %d/%d, want %d/%d", i, sd.NumNodes(), sd.NumEdges(), full.NumNodes(), full.NumEdges())
+			}
+			// Spot-check every 97th owned node: edge bytes and feature
+			// bytes identical through the same global offsets.
+			for v := lo; v < hi; v += 97 {
+				st, en := full.Range(uint32(v))
+				sst, sen := sd.Range(uint32(v))
+				if st != sst || en != sen {
+					t.Fatalf("shard %d node %d range (%d,%d) != full (%d,%d)", i, v, sst, sen, st, en)
+				}
+				if n := en - st; n > 0 {
+					want := make([]byte, n*storage.EntryBytes)
+					got := make([]byte, n*storage.EntryBytes)
+					if _, err := full.ReadAt(want, st*storage.EntryBytes); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := sd.ReadAt(got, st*storage.EntryBytes); err != nil {
+						t.Fatalf("shard %d node %d edge read: %v", i, v, err)
+					}
+					if string(want) != string(got) {
+						t.Fatalf("shard %d node %d edge bytes differ", i, v)
+					}
+				}
+				stride := full.FeatureStride()
+				want := make([]byte, stride)
+				got := make([]byte, stride)
+				if _, err := full.FeatureReadAt(want, v*stride); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sd.FeatureReadAt(got, v*stride); err != nil {
+					t.Fatalf("shard %d node %d feature read: %v", i, v, err)
+				}
+				if string(want) != string(got) {
+					t.Fatalf("shard %d node %d feature bytes differ", i, v)
+				}
+			}
+			if shards > 1 {
+				// A non-owned node's bytes are absent: the translated read
+				// lands outside the local file and must error, not fabricate.
+				var out uint32
+				if lo > 0 {
+					out = 0
+				} else {
+					out = uint32(hi)
+				}
+				st, en := full.Range(out)
+				if n := en - st; n > 0 {
+					buf := make([]byte, n*storage.EntryBytes)
+					if _, err := sd.ReadAt(buf, st*storage.EntryBytes); err == nil && lo > 0 {
+						t.Fatalf("shard %d served non-owned node %d's edge bytes", i, out)
+					}
+				}
+				if sd.Owns(out) {
+					t.Fatalf("shard %d claims to own %d outside [%d,%d)", i, out, lo, hi)
+				}
+			}
+			sd.Close()
+		}
+		if next != full.NumNodes() {
+			t.Fatalf("%d shards cover [0,%d), want [0,%d)", shards, next, full.NumNodes())
+		}
+	}
+}
+
+// TestPartitionRejectsTamperedShard: the strict open-time validation
+// still bites on shard datasets — a truncated local edge file is
+// rejected at open.
+func TestPartitionRejectsTamperedShard(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "g")
+	if _, err := Generate(src, "part", "rmat", 500, 5000, 3); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := Partition(src, filepath.Join(t.TempDir(), "shards"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := filepath.Join(dirs[1], storage.EdgesFile)
+	fi, err := os.Stat(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(edge, fi.Size()-storage.EntryBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.Open(dirs[1]); err == nil {
+		t.Fatal("Open accepted a truncated shard edge file")
+	}
+
+	// LoadEdges is a whole-graph operation; a shard must refuse it.
+	sd, err := storage.Open(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if _, err := sd.LoadEdges(); err == nil {
+		t.Fatal("LoadEdges succeeded on a shard dataset")
+	}
+}

@@ -27,6 +27,14 @@ type Edge struct {
 // integrity-checked against FeatChecksum (FNV-1a 64, hex) at open. All
 // three are zero/empty for edge-only datasets, so pre-feature manifests
 // load unchanged.
+//
+// The shard fields describe a node-range slice of a partitioned dataset
+// (DESIGN.md §12). NumShards 0 means an ordinary unsharded dataset (so
+// pre-shard manifests load unchanged). In a shard manifest NumNodes and
+// NumEdges stay GLOBAL — every shard knows the whole graph's shape and
+// carries the full offset index — while BinBytes and FeatBytes describe
+// the local files: edges.dat holds only the entries of nodes in
+// [ShardLo, ShardHi) and features.bin only those nodes' vectors.
 type Manifest struct {
 	Version      int       `json:"version"`
 	Name         string    `json:"name"`
@@ -36,6 +44,10 @@ type Manifest struct {
 	FeatureDim   int       `json:"featureDim,omitempty"`
 	FeatBytes    int64     `json:"featBytes,omitempty"`
 	FeatChecksum string    `json:"featChecksum,omitempty"`
+	NumShards    int       `json:"numShards,omitempty"`
+	ShardIndex   int       `json:"shardIndex,omitempty"`
+	ShardLo      int64     `json:"shardLo,omitempty"`
+	ShardHi      int64     `json:"shardHi,omitempty"`
 	CreatedAt    time.Time `json:"createdAt"`
 }
 

@@ -37,6 +37,24 @@ func NewRNG(seed uint64) RNG {
 // how many workers) happened to run it.
 func (r *RNG) Reseed(seed uint64) { *r = NewRNG(seed) }
 
+// State returns the generator's raw internal state. Together with
+// Restore it lets one logical draw stream be threaded across process
+// boundaries: the shard router captures the state after each sampled
+// layer and replays it into every shard participating in the next, so
+// N shards consume bit-identical streams to a single-node run.
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore sets the generator to a state previously captured with
+// State. A zero state (never produced by a healthy generator, but
+// possible from a corrupt wire value) is remapped like NewRNG's zero
+// seed rather than absorbing the stream.
+func (r *RNG) Restore(state uint64) {
+	if state == 0 {
+		state = 0x9e3779b97f4a7c15
+	}
+	r.state = state
+}
+
 // Mix combines a seed with a stream index (batch number, thread id,
 // request id ...) into an independent-looking seed, splitmix64-style.
 func Mix(seed, stream uint64) uint64 {

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/shard"
+)
+
+// RouterServer is the scatter/gather front end of a sharded
+// deployment: the same POST /v1/sample API as Server, answered by
+// fanning each chunk's layers out to the partition's shard engines
+// through a shard.Router instead of a local worker pool. It holds no
+// graph bytes and no RNG, so any number of router replicas can front
+// the same shards; the response for (targets, fanouts, seed, strategy)
+// is byte-identical — digest included — to a single-node Server over
+// the unpartitioned dataset (DESIGN.md §12).
+//
+// The serving knobs reused from Config: MaxTargetsPerRequest,
+// MaxFanoutLayers, MaxFanout, Default/MaxTimeout, Core.BatchSize (the
+// chunking granularity of the determinism contract), Core.Fanouts and
+// Core.Strategy (request defaults). Queue/batch-window knobs do not
+// apply — chunks go straight to the shards, which do their own worker
+// leasing — so queue metrics read zero.
+type RouterServer struct {
+	cfg Config
+	rt  *shard.Router
+	met *metrics
+
+	http     *http.Server
+	draining atomic.Bool
+	handlers sync.WaitGroup
+	// baseCtx force-cancels every in-flight request when a drain
+	// deadline expires.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	shutOnce   sync.Once
+	shutErr    error
+}
+
+// NewRouter validates that the engines tile the graph (shard.NewRouter
+// does the partition checks) and returns a serving front end over
+// them. The engines are owned by the router server from here on:
+// Shutdown closes them.
+func NewRouter(engines []shard.Engine, cfg Config) (*RouterServer, error) {
+	if len(cfg.Core.Fanouts) == 0 {
+		cfg.Core.Fanouts = core.DefaultConfig().Fanouts
+	}
+	if cfg.Core.BatchSize == 0 {
+		cfg.Core.BatchSize = core.DefaultConfig().BatchSize
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !core.ValidStrategy(cfg.Core.Strategy) {
+		return nil, fmt.Errorf("serve: unknown default strategy %q", cfg.Core.Strategy)
+	}
+	rt, err := shard.NewRouter(engines)
+	if err != nil {
+		return nil, err
+	}
+	s := &RouterServer{cfg: cfg, rt: rt, met: newMetrics()}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Config returns the effective (default-filled) config.
+func (s *RouterServer) Config() Config { return s.cfg }
+
+// Router exposes the underlying scatter/gather router.
+func (s *RouterServer) Router() *shard.Router { return s.rt }
+
+// IOStats sums the engines' ring-level counters (zeros from remote
+// engines — their counters live in their own servers' /metrics).
+func (s *RouterServer) IOStats() core.IOStats { return s.rt.Stats() }
+
+// Serve accepts connections on ln until Shutdown; returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *RouterServer) Serve(ln net.Listener) error { return s.http.Serve(ln) }
+
+// Shutdown drains gracefully, force-canceling in-flight requests when
+// ctx expires first, then closes the shard engines. Safe to call once;
+// later calls return the first result.
+func (s *RouterServer) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		err := s.http.Shutdown(ctx)
+		if err != nil {
+			s.cancelBase()
+			s.http.Close()
+		}
+		s.handlers.Wait()
+		if cerr := s.rt.Close(); err == nil {
+			err = cerr
+		}
+		s.cancelBase()
+		s.shutErr = err
+	})
+	return s.shutErr
+}
+
+func (s *RouterServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *RouterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.rt.Stats(), 0, 0)
+}
+
+func (s *RouterServer) badRequest(w http.ResponseWriter, msg string) {
+	s.met.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+}
+
+func (s *RouterServer) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.handlers.Add(1)
+	defer s.handlers.Done()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	if s.draining.Load() {
+		s.met.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	var req sampleRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, "malformed JSON: "+err.Error())
+		return
+	}
+	fanouts, timeout, verr := s.cfg.validateSample(r, &req, s.rt.NumNodes(), s.rt.HasFeatures())
+	if verr != nil {
+		s.badRequest(w, verr.Error())
+		return
+	}
+	// Resolve the default here, before the strategy name fans out to the
+	// shards: every shard must replay under the same explicit name.
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = s.cfg.Core.Strategy
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAfter()
+
+	t0 := time.Now()
+	s.met.requests.Add(1)
+	if req.Features {
+		s.met.featureRequests.Add(1)
+	}
+
+	// Same chunking as the pooled server: chunk ci samples under
+	// Mix(seed, ci). Chunks are independent whole pipelines, so they
+	// fan out concurrently; each one scatters its layers to the shards.
+	chunkSize := s.cfg.Core.BatchSize
+	numChunks := (len(req.Targets) + chunkSize - 1) / chunkSize
+	batches := make([]*core.Batch, numChunks)
+	errs := make([]error, numChunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < numChunks; ci++ {
+		lo := ci * chunkSize
+		hi := min(lo+chunkSize, len(req.Targets))
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			batches[ci], errs[ci] = s.rt.SampleChunk(ctx, req.Targets[lo:hi], fanouts,
+				shard.MixChunkSeed(req.Seed, ci), strategy, req.Features)
+		}(ci, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			failCanceled(w, ctx, s.met)
+			return
+		}
+		s.met.sampleErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "sampling failed: " + err.Error()})
+		return
+	}
+
+	resp := buildResponse(batches, t0)
+	s.met.responsesOK.Add(1)
+	s.met.requestLat.Observe(time.Since(t0).Nanoseconds())
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ringsampler/internal/sample"
+	"ringsampler/internal/uring"
+)
+
+// TestCheckTargets64BitRange is the regression test for the admission
+// range check: the node count must be compared in 64 bits. The old
+// code narrowed NumNodes to uint32 first, so a manifest with 2^32+5
+// nodes validated targets against 5 — rejecting almost every valid
+// target on a graph too large to open in a test, which is why this
+// pins the extracted helper against a mocked manifest count.
+func TestCheckTargets64BitRange(t *testing.T) {
+	huge := int64(1)<<32 + 5 // uint32(huge) == 5
+	for _, v := range []uint32{0, 4, 5, 10, 1 << 31, ^uint32(0)} {
+		if err := checkTargets([]uint32{v}, huge); err != nil {
+			t.Fatalf("target %d rejected on a %d-node graph: %v (truncated comparison?)", v, huge, err)
+		}
+	}
+	if err := checkTargets([]uint32{9, 10}, 10); err == nil {
+		t.Fatal("target 10 accepted on a 10-node graph")
+	}
+	if err := checkTargets([]uint32{9}, 10); err != nil {
+		t.Fatalf("target 9 rejected on a 10-node graph: %v", err)
+	}
+}
+
+// TestServeNegativeTimeoutRejected: a negative timeout_ms is a client
+// bug and must be a 400, not a silent substitution of the default.
+func TestServeNegativeTimeoutRejected(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendSim
+	cfg.Core.Threads = 1
+	_, base := startServer(t, ds, cfg)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	st, data := postSample(t, client, base, sampleRequest{
+		Targets: []uint32{1, 2, 3}, Fanouts: []int{5}, Seed: 1, TimeoutMS: -50,
+	})
+	if st != http.StatusBadRequest {
+		t.Fatalf("timeout_ms=-50: status %d, want 400: %s", st, data)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "timeout_ms") {
+		t.Fatalf("error %q does not mention timeout_ms", er.Error)
+	}
+	body := scrapeMetrics(t, client, base)
+	if got := metricValue(t, body, "ringsampler_io_reads_total"); got != 0 {
+		t.Fatalf("rejected request reached the engine: %v reads", got)
+	}
+}
+
+// TestServeForcedShutdownQueueGaugeZero forces a drain (expired
+// deadline) while a slow 1-worker server is saturated with multi-chunk
+// requests and asserts the queue_depth gauge lands back at exactly
+// zero: every admitted job's increment must be released by the pool,
+// or by the shutdown abandonment sweep — the leak this PR fixes.
+func TestServeForcedShutdownQueueGaugeZero(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendPool
+	cfg.Core.Threads = 1
+	cfg.Core.BatchSize = 16
+	cfg.Core.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+		return &slowRing{Ring: r, delay: 10 * time.Millisecond}, nil
+	}
+	cfg.QueueDepth = 4096
+	cfg.MaxBatchTargets = 16 // one job per micro-batch
+	cfg.BatchWindow = time.Millisecond
+	srv, err := New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Saturate: 8 concurrent requests × 4 chunks on a worker that needs
+	// tens of milliseconds per job, so the queue is deep when the drain
+	// deadline (shorter than one job) expires.
+	client := &http.Client{Timeout: 60 * time.Second}
+	var wg sync.WaitGroup
+	var responded atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := sample.NewRNG(sample.Mix(29, uint64(i)))
+			targets := make([]uint32, 64)
+			for j := range targets {
+				targets[j] = rng.Uint32n(uint32(ds.NumNodes()))
+			}
+			body, _ := json.Marshal(sampleRequest{Targets: targets, Fanouts: []int{6, 4}, Seed: uint64(i)})
+			resp, err := client.Post(base+"/v1/sample", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				// A forced drain may sever the connection mid-request;
+				// the invariant under test is gauge accounting, not
+				// client-visible status.
+				return
+			}
+			resp.Body.Close()
+			responded.Add(1)
+		}(i)
+	}
+	time.Sleep(15 * time.Millisecond) // let requests be admitted
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(ctx)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("forced shutdown hung")
+	}
+	wg.Wait() // no handler may be left hanging on an abandoned chunk
+
+	if got := srv.met.queueDepth.Load(); got != 0 {
+		t.Fatalf("queue_depth gauge = %d after forced shutdown, want 0 (leaked job increments)", got)
+	}
+	if got := srv.met.inflight.Load(); got != 0 {
+		t.Fatalf("inflight gauge = %d after forced shutdown, want 0", got)
+	}
+	t.Logf("%d/8 requests saw a response during the forced drain", responded.Load())
+}
+
+// TestServeNoWorkerCleanError covers the errNoWorker path: when worker
+// creation fails (here: the ring wrap refuses), a request must fail
+// with a clean 500 naming the condition — never hang — the slot must
+// stay alive, and once creation works again the SAME server must serve
+// correctly through the lazily retried worker.
+func TestServeNoWorkerCleanError(t *testing.T) {
+	ds := testDataset(t)
+	var refuse atomic.Bool
+	refuse.Store(true) // broken from boot: the slot's initial worker also fails
+	cfg := DefaultConfig()
+	cfg.Backend = uring.BackendSim
+	cfg.Core.Threads = 1
+	cfg.Core.BatchSize = 64
+	cfg.Core.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+		if refuse.Load() {
+			return nil, errors.New("injected: ring construction refused")
+		}
+		return r, nil
+	}
+	cfg.BatchWindow = time.Millisecond
+	_, base := startServer(t, ds, cfg)
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	req := sampleRequest{Targets: []uint32{1, 2, 3, 4}, Fanouts: []int{6, 4}, Seed: 9}
+	st, data := postSample(t, client, base, req)
+	if st != http.StatusInternalServerError {
+		t.Fatalf("no-worker request: status %d, want 500: %s", st, data)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "no worker available") {
+		t.Fatalf("error %q does not surface the no-worker condition", er.Error)
+	}
+
+	// Creation works again: the pool slot must lazily acquire a worker
+	// on the next job — no restart, no dead slot.
+	refuse.Store(false)
+	st, data = postSample(t, client, base, req)
+	if st != http.StatusOK {
+		t.Fatalf("post-recovery request: status %d: %s", st, data)
+	}
+	want := referenceBatches(t, ds, cfg.Core, cfg.Backend, req, cfg.Core.BatchSize)
+	assertResponseMatches(t, "post-recovery request", data, want)
+
+	body := scrapeMetrics(t, client, base)
+	if got := metricValue(t, body, "ringsampler_serve_errors_total"); got != 1 {
+		t.Fatalf("errors_total = %v, want 1", got)
+	}
+	if got := metricValue(t, body, "ringsampler_serve_responses_ok_total"); got != 1 {
+		t.Fatalf("responses_ok_total = %v, want 1", got)
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"ringsampler/internal/core"
 	"ringsampler/internal/sample"
+	"ringsampler/internal/shard"
 	"ringsampler/internal/storage"
 	"ringsampler/internal/uring"
 )
@@ -157,6 +158,10 @@ type Server struct {
 	s    *core.Sampler
 	met  *metrics
 	pool *pool
+	// local answers the shard protocol (/v1/shard/*) over the same
+	// sampler, so this server can serve as one shard of a partition —
+	// or as the sole shard of a 1-partition — behind a router.
+	local *shard.Local
 
 	queue        chan *job
 	quit         chan struct{}
@@ -164,6 +169,11 @@ type Server struct {
 
 	http     *http.Server
 	draining atomic.Bool
+	// handlers tracks in-flight HTTP handlers. Shutdown waits on it
+	// before stopping the dispatcher, so no handler can enqueue a job
+	// after the dispatcher's final drain — the hole that used to leak
+	// the queue_depth gauge on a forced drain.
+	handlers sync.WaitGroup
 	// baseCtx force-cancels every in-flight request when a drain
 	// deadline expires.
 	baseCtx    context.Context
@@ -195,12 +205,16 @@ func New(ds *storage.Dataset, cfg Config) (*Server, error) {
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.pool = newPool(sampler, s.met, cfg.Core.Threads)
+	s.local = shard.NewLocalFrom(ds, sampler)
 	go s.dispatch()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sample", s.handleSample)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/shard/info", s.handleShardInfo)
+	mux.HandleFunc("POST /v1/shard/layer", s.handleShardLayer)
+	mux.HandleFunc("POST /v1/shard/features", s.handleShardFeatures)
 	s.http = &http.Server{Handler: mux}
 	return s, nil
 }
@@ -208,9 +222,14 @@ func New(ds *storage.Dataset, cfg Config) (*Server, error) {
 // Config returns the server's effective (default-filled) config.
 func (s *Server) Config() Config { return s.cfg }
 
-// IOStats returns the pool's merged ring-level I/O counters, retired
-// workers included.
-func (s *Server) IOStats() core.IOStats { return s.pool.Stats() }
+// IOStats returns the merged ring-level I/O counters: the pool's
+// workers (retired included) plus any workers the shard endpoints
+// leased.
+func (s *Server) IOStats() core.IOStats {
+	st := s.pool.Stats()
+	st.Add(s.local.Stats())
+	return st
+}
 
 // Serve accepts connections on ln until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like net/http.
@@ -235,9 +254,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.cancelBase()
 			s.http.Close()
 		}
+		// Every handler that could enqueue jobs did handlers.Add before
+		// its draining check; once Wait returns, no new job can enter the
+		// queue, so stopping the dispatcher cannot strand a later one.
+		s.handlers.Wait()
 		close(s.quit)
 		<-s.dispatchDone
+		// Abandonment sweep: anything still queued was admitted without a
+		// consumer left to run it. Release each job's queue_depth
+		// increment and report it, so the gauge provably returns to zero
+		// and no request waits forever on a chunk nobody will run.
+		for {
+			select {
+			case j := <-s.queue:
+				s.met.queueDepth.Add(-1)
+				s.met.canceledJobs.Add(1)
+				j.finish(nil, context.Canceled)
+				continue
+			default:
+			}
+			break
+		}
 		s.pool.wait()
+		s.local.Close()
 		s.cancelBase()
 		s.shutErr = err
 	})
@@ -255,7 +294,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.pool.Stats(), s.cfg.Core.Threads, s.cfg.QueueDepth)
+	s.met.write(w, s.IOStats(), s.cfg.Core.Threads, s.cfg.QueueDepth)
 }
 
 // sampleRequest is the POST /v1/sample body.
@@ -328,12 +367,114 @@ func (s *Server) badRequest(w http.ResponseWriter, msg string) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 }
 
+// checkTargets validates every target against the graph's node count.
+// The comparison is deliberately 64-bit: narrowing NumNodes to uint32
+// first would make a manifest with ≥ 2^32 nodes wrap, and targets
+// would be accepted or rejected against the count's low 32 bits.
+func checkTargets(targets []uint32, numNodes int64) error {
+	for i, v := range targets {
+		if int64(v) >= numNodes {
+			return fmt.Errorf("target[%d] = %d out of range (graph has %d nodes)", i, v, numNodes)
+		}
+	}
+	return nil
+}
+
+// validateSample is the admission validation shared by the pooled
+// server and the router front end. It resolves the ?features query
+// flag into req, and returns the effective fanouts and per-request
+// timeout — or the message for a 400.
+func (c *Config) validateSample(r *http.Request, req *sampleRequest, numNodes int64, hasFeatures bool) ([]int, time.Duration, error) {
+	if len(req.Targets) == 0 {
+		return nil, 0, fmt.Errorf("request needs at least one target")
+	}
+	if len(req.Targets) > c.MaxTargetsPerRequest {
+		return nil, 0, fmt.Errorf("request has %d targets, limit %d", len(req.Targets), c.MaxTargetsPerRequest)
+	}
+	if err := checkTargets(req.Targets, numNodes); err != nil {
+		return nil, 0, err
+	}
+	if q := r.URL.Query().Get("features"); q != "" {
+		on, err := strconv.ParseBool(q)
+		if err != nil {
+			return nil, 0, fmt.Errorf("features query parameter must be a boolean: %v", err)
+		}
+		req.Features = req.Features || on
+	}
+	if req.Features && !hasFeatures {
+		return nil, 0, fmt.Errorf("features requested but the dataset has no feature file")
+	}
+	fanouts := req.Fanouts
+	if len(fanouts) == 0 {
+		fanouts = c.Core.Fanouts
+	}
+	if len(fanouts) > c.MaxFanoutLayers {
+		return nil, 0, fmt.Errorf("%d fanout layers, limit %d", len(fanouts), c.MaxFanoutLayers)
+	}
+	for i, f := range fanouts {
+		if f < 1 || f > c.MaxFanout {
+			return nil, 0, fmt.Errorf("fanout[%d] = %d out of range [1,%d]", i, f, c.MaxFanout)
+		}
+	}
+	if !core.ValidStrategy(req.Strategy) {
+		return nil, 0, fmt.Errorf("unknown strategy %q (known: %v)", req.Strategy, core.StrategyNames())
+	}
+	if req.TimeoutMS < 0 {
+		// A negative timeout is a client bug, not a request for the
+		// default — rejecting beats silently substituting one.
+		return nil, 0, fmt.Errorf("timeout_ms %d must be non-negative", req.TimeoutMS)
+	}
+	timeout := c.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > c.MaxTimeout {
+			timeout = c.MaxTimeout
+		}
+	}
+	return fanouts, timeout, nil
+}
+
+// buildResponse assembles the wire response from ordered batches —
+// shared by the pooled server and the router, which is what keeps the
+// two response formats (and digests) identical by construction.
+func buildResponse(batches []*core.Batch, t0 time.Time) sampleResponse {
+	resp := sampleResponse{Batches: make([]batchJSON, len(batches))}
+	var folded uint64
+	for i, b := range batches {
+		bj := batchJSON{Layers: make([]layerJSON, len(b.Layers))}
+		for li := range b.Layers {
+			l := &b.Layers[li]
+			bj.Layers[li] = layerJSON{Targets: l.Targets, Starts: l.Starts, Neighbors: l.Neighbors}
+		}
+		if b.FeatureDim > 0 {
+			bj.FeatNodes = b.FeatNodes
+			bj.FeatureDim = b.FeatureDim
+			bj.Features = b.Features
+		}
+		d := b.Digest()
+		bj.Digest = fmt.Sprintf("%016x", d)
+		folded = folded*0x100000001b3 ^ d
+		resp.Sampled += b.TotalSampled()
+		resp.Batches[i] = bj
+	}
+	resp.Digest = fmt.Sprintf("%016x", folded)
+	resp.ElapsedMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+	return resp
+}
+
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.handlers.Add(1)
+	defer s.handlers.Done()
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 	if s.draining.Load() {
 		s.met.rejectedDraining.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	if s.ds.IsSharded() {
+		s.badRequest(w, fmt.Sprintf("dataset is shard %d/%d: whole-graph sampling needs a router over the full partition (this server answers /v1/shard/*)",
+			s.ds.ShardIndex(), s.ds.NumShards()))
 		return
 	}
 	var req sampleRequest
@@ -342,57 +483,10 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "malformed JSON: "+err.Error())
 		return
 	}
-	if len(req.Targets) == 0 {
-		s.badRequest(w, "request needs at least one target")
+	fanouts, timeout, verr := s.cfg.validateSample(r, &req, s.ds.NumNodes(), s.ds.HasFeatures())
+	if verr != nil {
+		s.badRequest(w, verr.Error())
 		return
-	}
-	if len(req.Targets) > s.cfg.MaxTargetsPerRequest {
-		s.badRequest(w, fmt.Sprintf("request has %d targets, limit %d", len(req.Targets), s.cfg.MaxTargetsPerRequest))
-		return
-	}
-	numNodes := uint32(s.ds.NumNodes())
-	for i, v := range req.Targets {
-		if v >= numNodes {
-			s.badRequest(w, fmt.Sprintf("target[%d] = %d out of range (graph has %d nodes)", i, v, numNodes))
-			return
-		}
-	}
-	if q := r.URL.Query().Get("features"); q != "" {
-		on, err := strconv.ParseBool(q)
-		if err != nil {
-			s.badRequest(w, "features query parameter must be a boolean: "+err.Error())
-			return
-		}
-		req.Features = req.Features || on
-	}
-	if req.Features && !s.ds.HasFeatures() {
-		s.badRequest(w, "features requested but the dataset has no feature file")
-		return
-	}
-	fanouts := req.Fanouts
-	if len(fanouts) == 0 {
-		fanouts = s.cfg.Core.Fanouts
-	}
-	if len(fanouts) > s.cfg.MaxFanoutLayers {
-		s.badRequest(w, fmt.Sprintf("%d fanout layers, limit %d", len(fanouts), s.cfg.MaxFanoutLayers))
-		return
-	}
-	for i, f := range fanouts {
-		if f < 1 || f > s.cfg.MaxFanout {
-			s.badRequest(w, fmt.Sprintf("fanout[%d] = %d out of range [1,%d]", i, f, s.cfg.MaxFanout))
-			return
-		}
-	}
-	if !core.ValidStrategy(req.Strategy) {
-		s.badRequest(w, fmt.Sprintf("unknown strategy %q (known: %v)", req.Strategy, core.StrategyNames()))
-		return
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -469,37 +563,124 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := sampleResponse{Batches: make([]batchJSON, len(batches))}
-	var folded uint64
-	for i, b := range batches {
-		bj := batchJSON{Layers: make([]layerJSON, len(b.Layers))}
-		for li := range b.Layers {
-			l := &b.Layers[li]
-			bj.Layers[li] = layerJSON{Targets: l.Targets, Starts: l.Starts, Neighbors: l.Neighbors}
-		}
-		if b.FeatureDim > 0 {
-			bj.FeatNodes = b.FeatNodes
-			bj.FeatureDim = b.FeatureDim
-			bj.Features = b.Features
-		}
-		d := b.Digest()
-		bj.Digest = fmt.Sprintf("%016x", d)
-		folded = folded*0x100000001b3 ^ d
-		resp.Sampled += b.TotalSampled()
-		resp.Batches[i] = bj
-	}
-	resp.Digest = fmt.Sprintf("%016x", folded)
-	resp.ElapsedMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+	resp := buildResponse(batches, t0)
 	s.met.responsesOK.Add(1)
 	s.met.requestLat.Observe(time.Since(t0).Nanoseconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// Shard protocol handlers: this server as one engine of a partition.
+// They answer over the same sampler (caches shared with the pool) but
+// lease workers per call through the shard.Local engine instead of
+// riding the micro-batching queue — layer calls are already
+// router-batched and must not coalesce with anything.
+
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.local.Info())
+}
+
+func (s *Server) handleShardLayer(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	if s.draining.Load() {
+		s.met.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	var req shard.LayerRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, "malformed JSON: "+err.Error())
+		return
+	}
+	state, err := shard.ParseState(req.RNGState)
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	if req.Layer < 0 || req.Fanout < 1 || req.Fanout > s.cfg.MaxFanout {
+		s.badRequest(w, fmt.Sprintf("layer %d / fanout %d out of range (fanout limit %d)", req.Layer, req.Fanout, s.cfg.MaxFanout))
+		return
+	}
+	if len(req.Frontier) == 0 {
+		s.badRequest(w, "layer request needs a non-empty frontier")
+		return
+	}
+	if req.Strategy == "" || !core.ValidStrategy(req.Strategy) {
+		// The router must pin an explicit strategy: resolving "" against
+		// this shard's local default could disagree with its peers.
+		s.badRequest(w, fmt.Sprintf("shard layer requests need an explicit strategy (known: %v), got %q", core.StrategyNames(), req.Strategy))
+		return
+	}
+	if err := checkTargets(req.Frontier, s.ds.NumNodes()); err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	s.met.shardCalls.Add(1)
+	layer, nextState, err := s.local.SampleLayer(r.Context(), req.Frontier, core.LayerParams{
+		Layer: req.Layer, Fanout: req.Fanout, Strategy: req.Strategy, RNGState: state,
+	})
+	if err != nil {
+		s.met.sampleErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "shard layer failed: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, shard.LayerResponse{
+		Targets:   layer.Targets,
+		Starts:    layer.Starts,
+		Neighbors: layer.Neighbors,
+		RNGState:  shard.EncodeState(nextState),
+	})
+}
+
+func (s *Server) handleShardFeatures(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	if s.draining.Load() {
+		s.met.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	var req shard.FeaturesRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, "malformed JSON: "+err.Error())
+		return
+	}
+	if !s.ds.HasFeatures() {
+		s.badRequest(w, "shard has no feature file")
+		return
+	}
+	if len(req.Nodes) == 0 {
+		s.badRequest(w, "features request needs at least one node")
+		return
+	}
+	lo, hi := s.ds.ShardRange()
+	for i, v := range req.Nodes {
+		if int64(v) < lo || int64(v) >= hi {
+			s.badRequest(w, fmt.Sprintf("nodes[%d] = %d outside this shard's range [%d,%d)", i, v, lo, hi))
+			return
+		}
+	}
+	s.met.shardCalls.Add(1)
+	feats, err := s.local.Features(r.Context(), req.Nodes)
+	if err != nil {
+		s.met.sampleErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "shard features failed: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, shard.FeaturesResponse{Features: feats})
+}
+
 // failCanceled maps a dead request context to its status: 504 for a
 // deadline, 503 for everything else (client gone, forced drain).
 func (s *Server) failCanceled(w http.ResponseWriter, ctx context.Context) {
+	failCanceled(w, ctx, s.met)
+}
+
+func failCanceled(w http.ResponseWriter, ctx context.Context, m *metrics) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		s.met.deadlineExceeded.Add(1)
+		m.deadlineExceeded.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
 		return
 	}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ringsampler/internal/core"
+)
+
+// Remote is the over-HTTP Engine: a client for the shard endpoints a
+// serve.Server mounts when its dataset is sharded (POST
+// /v1/shard/layer, POST /v1/shard/features, GET /v1/shard/info). It
+// carries no graph state — the shard's storage, caches, and workers
+// live in the remote process — which is what makes it interchangeable
+// with Local behind the Engine seam.
+type Remote struct {
+	base string
+	hc   *http.Client
+	info Info
+}
+
+// NewRemote resolves the shard's identity from baseURL (e.g.
+// "http://shard0:8080") and returns an engine speaking the shard
+// protocol to it. hc nil uses http.DefaultClient; pass a client with
+// timeouts in production.
+func NewRemote(ctx context.Context, baseURL string, hc *http.Client) (*Remote, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	r := &Remote{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/shard/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.do(req, &r.info); err != nil {
+		return nil, fmt.Errorf("shard: resolve %s: %w", baseURL, err)
+	}
+	return r, nil
+}
+
+// Info implements Engine (resolved once at construction).
+func (r *Remote) Info() Info { return r.info }
+
+// do runs req and decodes the JSON reply into out, surfacing non-2xx
+// statuses with the server's error text.
+func (r *Remote) do(req *http.Request, out any) error {
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// post sends body as JSON and decodes the reply into out.
+func (r *Remote) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return r.do(req, out)
+}
+
+// SampleLayer implements Engine over POST /v1/shard/layer.
+func (r *Remote) SampleLayer(ctx context.Context, frontier []uint32, p core.LayerParams) (*core.Layer, uint64, error) {
+	var resp LayerResponse
+	err := r.post(ctx, "/v1/shard/layer", LayerRequest{
+		Frontier: frontier,
+		Layer:    p.Layer,
+		Fanout:   p.Fanout,
+		Strategy: p.Strategy,
+		RNGState: EncodeState(p.RNGState),
+	}, &resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	state, err := ParseState(resp.RNGState)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &core.Layer{Targets: resp.Targets, Starts: resp.Starts, Neighbors: resp.Neighbors}, state, nil
+}
+
+// Features implements Engine over POST /v1/shard/features.
+func (r *Remote) Features(ctx context.Context, nodes []uint32) ([]byte, error) {
+	var resp FeaturesResponse
+	if err := r.post(ctx, "/v1/shard/features", FeaturesRequest{Nodes: nodes}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Features, nil
+}
+
+// Stats implements Engine. A remote shard's ring counters live in its
+// own process's /metrics; the client reports zeros rather than
+// double-counting.
+func (r *Remote) Stats() core.IOStats { return core.IOStats{} }
+
+// Close implements Engine.
+func (r *Remote) Close() error {
+	r.hc.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/gen"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// buildGraph generates the test graph once per test and returns its dir.
+func buildGraph(t *testing.T, featureDim int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "g")
+	if _, err := gen.GenerateWith(dir, "shardtest", "rmat", 2000, 30_000, 11, gen.Options{FeatureDim: featureDim}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Fanouts = []int{6, 4}
+	cfg.BatchSize = 128
+	cfg.Threads = 1
+	// Non-zero budgets so the shard-restricted caches and alias tables
+	// are exercised, not just the raw ring path.
+	cfg.CacheBudgetBytes = 64 << 10
+	cfg.FeatureCacheBudgetBytes = 64 << 10
+	return cfg
+}
+
+// openLocals partitions dir into n shards and returns Local engines
+// over them (and the shard datasets, closed via t.Cleanup).
+func openLocals(t *testing.T, dir string, n int, cfg core.Config) []Engine {
+	t.Helper()
+	dirs, err := gen.Partition(dir, filepath.Join(t.TempDir(), "parts"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]Engine, n)
+	for i, sdir := range dirs {
+		sds, err := storage.Open(sdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sds.Close() })
+		scfg := cfg
+		if !sds.HasFeatures() {
+			scfg.FeatureCacheBudgetBytes = 0
+		}
+		eng, err := NewLocal(sds, scfg, uring.BackendPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		engines[i] = eng
+	}
+	return engines
+}
+
+// TestRouterMatchesSingleNode is the package-level determinism proof:
+// for every strategy × features × shard count, the router-assembled
+// chunks are Digest-identical (and structurally identical) to a single
+// worker's batches over the unsharded dataset.
+func TestRouterMatchesSingleNode(t *testing.T) {
+	dir := buildGraph(t, 4)
+	cfg := testConfig()
+
+	full, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	s, err := core.New(full, cfg, uring.BackendPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// A deterministic target mix: hubs, tails, duplicates, zero-degree.
+	rng := sample.NewRNG(99)
+	targets := make([]uint32, 300)
+	for i := range targets {
+		targets[i] = rng.Uint32n(uint32(full.NumNodes()))
+	}
+	targets[7] = targets[8] // duplicate
+	const seed = 12345
+
+	for _, shards := range []int{1, 2, 4} {
+		engines := openLocals(t, dir, shards, cfg)
+		rt, err := NewRouter(engines)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		for _, strategy := range []string{core.StrategyUniform, core.StrategyWeighted, core.StrategyWalk} {
+			for _, features := range []bool{false, true} {
+				name := fmt.Sprintf("%dshards/%s/feat=%v", shards, strategy, features)
+				for ci := 0; ci*cfg.BatchSize < len(targets); ci++ {
+					lo := ci * cfg.BatchSize
+					hi := min(lo+cfg.BatchSize, len(targets))
+					chunkSeed := sample.Mix(seed, uint64(ci))
+					want, err := w.SampleBatchOpts(targets[lo:hi], core.BatchOpts{
+						Fanouts: cfg.Fanouts, Seed: chunkSeed, Features: features, Strategy: strategy,
+					})
+					if err != nil {
+						t.Fatalf("%s chunk %d reference: %v", name, ci, err)
+					}
+					got, err := rt.SampleChunk(context.Background(), targets[lo:hi], cfg.Fanouts, chunkSeed, strategy, features)
+					if err != nil {
+						t.Fatalf("%s chunk %d router: %v", name, ci, err)
+					}
+					if g, w := got.Digest(), want.Digest(); g != w {
+						t.Fatalf("%s chunk %d digest %016x != single-node %016x", name, ci, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouterShardFaultStillIdentical injects a fault-wrapped ring on
+// ONE shard (short reads, transient errnos, reordered completions) and
+// asserts the router's output digests stay identical to the clean
+// single-node run — the retry machinery absorbs the faults below the
+// determinism contract.
+func TestRouterShardFaultStillIdentical(t *testing.T) {
+	dir := buildGraph(t, 4)
+	cfg := testConfig()
+
+	full, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	s, err := core.New(full, cfg, uring.BackendPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	dirs, err := gen.Partition(dir, filepath.Join(t.TempDir(), "parts"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]Engine, 2)
+	for i, sdir := range dirs {
+		sds, err := storage.Open(sdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sds.Close() })
+		scfg := cfg
+		if i == 1 {
+			scfg.WrapRing = func(r uring.Ring, workerID int) (uring.Ring, error) {
+				return uring.NewFault(r, uring.FaultPlan{
+					Seed: 5, ShortReadRate: 0.2, TransientRate: 0.1, DelayRate: 0.2, MaxDelay: 4,
+				})
+			}
+		}
+		eng, err := NewLocal(sds, scfg, uring.BackendPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		engines[i] = eng
+	}
+	rt, err := NewRouter(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := sample.NewRNG(42)
+	targets := make([]uint32, 128)
+	for i := range targets {
+		targets[i] = rng.Uint32n(uint32(full.NumNodes()))
+	}
+	for _, strategy := range []string{core.StrategyUniform, core.StrategyWeighted, core.StrategyWalk} {
+		want, err := w.SampleBatchOpts(targets, core.BatchOpts{
+			Fanouts: cfg.Fanouts, Seed: 777, Features: true, Strategy: strategy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.SampleChunk(context.Background(), targets, cfg.Fanouts, 777, strategy, true)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if g, wd := got.Digest(), want.Digest(); g != wd {
+			t.Fatalf("%s: faulty-shard digest %016x != clean single-node %016x", strategy, g, wd)
+		}
+	}
+}
+
+// TestNewRouterRejectsBadPartitions: gaps, duplicates, and
+// wrong-declared positions are configuration errors caught up front.
+func TestNewRouterRejectsBadPartitions(t *testing.T) {
+	dir := buildGraph(t, 0)
+	cfg := testConfig()
+	cfg.FeatureCacheBudgetBytes = 0
+
+	dirs, err := gen.Partition(dir, filepath.Join(t.TempDir(), "parts"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(sdir string) Engine {
+		sds, err := storage.Open(sdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sds.Close() })
+		eng, err := NewLocal(sds, cfg, uring.BackendPool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		return eng
+	}
+	e0, e1 := open(dirs[0]), open(dirs[1])
+	if _, err := NewRouter([]Engine{e0}); err == nil {
+		t.Fatal("router accepted a partition with a missing shard")
+	}
+	if _, err := NewRouter([]Engine{e0, e0}); err == nil {
+		t.Fatal("router accepted a duplicated shard")
+	}
+	if rt, err := NewRouter([]Engine{e1, e0}); err != nil {
+		// Order-independence: engines may be listed in any order.
+		t.Fatalf("router rejected out-of-order engine list: %v", err)
+	} else if rt.Shards() != 2 {
+		t.Fatalf("router has %d shards, want 2", rt.Shards())
+	}
+
+	if _, err := NewRouter(nil); err == nil {
+		t.Fatal("router accepted zero engines")
+	}
+}

@@ -23,6 +23,14 @@ type Dataset struct {
 	offsets []int64
 	f       *os.File
 
+	// shardLo/shardHi is the owned node range [lo, hi); [0, NumNodes)
+	// for an unsharded dataset. entryBase is the global entry index of
+	// the first entry present in the local edge file (offsets[shardLo]),
+	// so local byte offset = (globalEntry - entryBase) * EntryBytes.
+	shardLo   int64
+	shardHi   int64
+	entryBase int64
+
 	// directAlign is the O_DIRECT transfer granularity (offset, length,
 	// and memory must all be multiples of it); 0 means the file is open
 	// buffered and reads have no alignment constraint.
@@ -65,6 +73,11 @@ func Open(dir string) (*Dataset, error) {
 // OpenWith validates and opens the dataset in dir. Validation is strict —
 // a truncated or inconsistent directory is rejected here rather than
 // surfacing as short reads mid-epoch.
+//
+// A shard dataset (manifest NumShards > 0, DESIGN.md §12) carries the
+// full offset index but only the owned node range's slice of the edge
+// and feature files; the size checks then apply to the local slices and
+// reads are translated by the slice base.
 func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 	man, err := loadManifest(filepath.Join(dir, ManifestFile))
 	if err != nil {
@@ -73,18 +86,20 @@ func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 	if man.NumNodes <= 0 || man.NumEdges < 0 {
 		return nil, fmt.Errorf("storage: manifest %s has invalid counts (%d nodes, %d edges)", dir, man.NumNodes, man.NumEdges)
 	}
-	wantEdgeBytes := man.NumEdges * EntryBytes
-	if man.BinBytes != wantEdgeBytes {
-		return nil, fmt.Errorf("storage: manifest %s binBytes %d != numEdges*%d = %d", dir, man.BinBytes, EntryBytes, wantEdgeBytes)
+	shardLo, shardHi := int64(0), man.NumNodes
+	if man.NumShards > 0 {
+		if man.ShardIndex < 0 || man.ShardIndex >= man.NumShards {
+			return nil, fmt.Errorf("storage: manifest %s shard index %d out of range [0,%d)", dir, man.ShardIndex, man.NumShards)
+		}
+		if man.ShardLo < 0 || man.ShardLo > man.ShardHi || man.ShardHi > man.NumNodes {
+			return nil, fmt.Errorf("storage: manifest %s shard range [%d,%d) invalid for %d nodes", dir, man.ShardLo, man.ShardHi, man.NumNodes)
+		}
+		shardLo, shardHi = man.ShardLo, man.ShardHi
 	}
-	edgePath := filepath.Join(dir, EdgesFile)
-	fi, err := os.Stat(edgePath)
-	if err != nil {
-		return nil, fmt.Errorf("storage: stat edge file: %w", err)
-	}
-	if fi.Size() != wantEdgeBytes {
-		return nil, fmt.Errorf("storage: edge file %s is %d bytes, manifest expects %d (truncated capture?)", edgePath, fi.Size(), wantEdgeBytes)
-	}
+	// The offset index is read before the edge-file size check because a
+	// shard's expected edge bytes are offsets[hi]-offsets[lo] entries; for
+	// an unsharded dataset the two orderings accept/reject identically
+	// (offsets must span exactly [0, NumEdges]).
 	offPath := filepath.Join(dir, OffsetsFile)
 	offsets, err := readOffsets(offPath, man.NumNodes)
 	if err != nil {
@@ -98,11 +113,26 @@ func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 			return nil, fmt.Errorf("storage: offset index %s not monotone at node %d", offPath, v)
 		}
 	}
-	featPath, err := validateFeatures(dir, man)
+	wantEdgeBytes := (offsets[shardHi] - offsets[shardLo]) * EntryBytes
+	if man.BinBytes != wantEdgeBytes {
+		return nil, fmt.Errorf("storage: manifest %s binBytes %d != local entries*%d = %d", dir, man.BinBytes, EntryBytes, wantEdgeBytes)
+	}
+	edgePath := filepath.Join(dir, EdgesFile)
+	fi, err := os.Stat(edgePath)
+	if err != nil {
+		return nil, fmt.Errorf("storage: stat edge file: %w", err)
+	}
+	if fi.Size() != wantEdgeBytes {
+		return nil, fmt.Errorf("storage: edge file %s is %d bytes, manifest expects %d (truncated capture?)", edgePath, fi.Size(), wantEdgeBytes)
+	}
+	featPath, err := validateFeatures(dir, man, shardLo, shardHi)
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{dir: dir, man: man, offsets: offsets}
+	d := &Dataset{
+		dir: dir, man: man, offsets: offsets,
+		shardLo: shardLo, shardHi: shardHi, entryBase: offsets[shardLo],
+	}
 	if featPath != "" {
 		d.featF, d.featAlign, err = openMaybeDirect(featPath, man.FeatBytes, opts.Direct)
 		if err != nil {
@@ -181,6 +211,34 @@ func (d *Dataset) Degree(v uint32) int64 {
 	return d.offsets[v+1] - d.offsets[v]
 }
 
+// IsSharded reports whether this dataset is one node-range shard of a
+// partitioned graph (DESIGN.md §12). Range/Degree still answer for
+// every node (the offset index is global); only the edge and feature
+// BYTES of non-owned nodes are absent.
+func (d *Dataset) IsSharded() bool { return d.man.NumShards > 0 }
+
+// NumShards returns the partition width (0 for an unsharded dataset).
+func (d *Dataset) NumShards() int { return d.man.NumShards }
+
+// ShardIndex returns this shard's position in the partition (0 for an
+// unsharded dataset).
+func (d *Dataset) ShardIndex() int { return d.man.ShardIndex }
+
+// ShardRange returns the owned node range [lo, hi); [0, NumNodes) for
+// an unsharded dataset.
+func (d *Dataset) ShardRange() (lo, hi int64) { return d.shardLo, d.shardHi }
+
+// Owns reports whether node v's edge list (and feature vector) is
+// present in this dataset's local files. Always true when unsharded.
+func (d *Dataset) Owns(v uint32) bool {
+	return int64(v) >= d.shardLo && int64(v) < d.shardHi
+}
+
+// EntryBase returns the global entry index of the first edge entry in
+// the local edge file (0 when unsharded). Ring consumers that plan
+// reads in global entry coordinates subtract it before issuing.
+func (d *Dataset) EntryBase() int64 { return d.entryBase }
+
 // File exposes the edge file for ring backends that read it directly.
 // When DirectAlign() > 0 the handle is O_DIRECT: ring reads through it
 // must use aligned offsets, lengths, and memory.
@@ -195,14 +253,18 @@ func (d *Dataset) DirectAlign() int { return d.directAlign }
 // buffered handle (nil when O_DIRECT is active or was never requested).
 func (d *Dataset) DirectFallback() error { return d.directErr }
 
-// ReadAt reads raw edge-file bytes at the given byte offset. It is the
-// access path for consumers that want file bytes without a ring — the
+// ReadAt reads raw edge-file bytes at the given GLOBAL byte offset
+// (entry index * EntryBytes over the whole graph). It is the access
+// path for consumers that want file bytes without a ring — the
 // hot-neighbor cache builder reads each pinned node's list through it.
-// On an O_DIRECT handle, arbitrary offsets and lengths are served
-// through an aligned bounce buffer, so callers stay oblivious to the
-// alignment constraint.
+// On a shard dataset the offset is translated into the local slice, so
+// callers address owned nodes exactly as they would on the full
+// dataset; reads outside the owned slice fail like any out-of-file
+// read. On an O_DIRECT handle, arbitrary offsets and lengths are
+// served through an aligned bounce buffer, so callers stay oblivious
+// to the alignment constraint.
 func (d *Dataset) ReadAt(p []byte, off int64) (int, error) {
-	return readAtMaybeDirect(d.f, d.directAlign, p, off)
+	return readAtMaybeDirect(d.f, d.directAlign, p, off-d.entryBase*EntryBytes)
 }
 
 // readAtMaybeDirect serves an arbitrary (offset, length) read from f,
@@ -238,6 +300,9 @@ func readAtMaybeDirect(f *os.File, align int, p []byte, off int64) (int, error) 
 // first call). Only the modeled experiments use this; the real engine
 // never does.
 func (d *Dataset) LoadEdges() ([]uint32, error) {
+	if d.IsSharded() {
+		return nil, fmt.Errorf("storage: LoadEdges on shard %d/%d of %s: modeled experiments need the whole edge file", d.man.ShardIndex, d.man.NumShards, d.dir)
+	}
 	d.edgesOnce.Do(func() {
 		data, err := os.ReadFile(filepath.Join(d.dir, EdgesFile))
 		if err != nil {

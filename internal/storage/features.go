@@ -48,8 +48,10 @@ func ChecksumFile(path string) (string, error) {
 // with the manifest, or whose bytes fail the checksum is rejected at
 // open rather than surfacing as short reads or silently wrong vectors
 // mid-epoch. Returns the feature file path for a featureful dataset, or
-// "" for a valid edge-only one.
-func validateFeatures(dir string, man Manifest) (string, error) {
+// "" for a valid edge-only one. [lo, hi) is the owned node range — the
+// local file holds exactly those nodes' records ([0, NumNodes) when
+// unsharded, so the sizes reduce to the historical whole-file checks).
+func validateFeatures(dir string, man Manifest, lo, hi int64) (string, error) {
 	if man.FeatureDim < 0 {
 		return "", fmt.Errorf("storage: manifest %s has negative featureDim %d", dir, man.FeatureDim)
 	}
@@ -64,9 +66,9 @@ func validateFeatures(dir string, man Manifest) (string, error) {
 		return "", fmt.Errorf("storage: manifest %s featureDim %d exceeds limit %d", dir, man.FeatureDim, maxFeatureDim)
 	}
 	stride := int64(man.FeatureDim) * FeatureElemBytes
-	want := man.NumNodes * stride
+	want := (hi - lo) * stride
 	if man.FeatBytes != want {
-		return "", fmt.Errorf("storage: manifest %s featBytes %d != numNodes*dim*%d = %d (stride mismatch)",
+		return "", fmt.Errorf("storage: manifest %s featBytes %d != ownedNodes*dim*%d = %d (stride mismatch)",
 			dir, man.FeatBytes, FeatureElemBytes, want)
 	}
 	if man.FeatChecksum == "" {
@@ -114,12 +116,15 @@ func (d *Dataset) FeatureFile() *os.File { return d.featF }
 // file handle, or 0 when the handle is buffered (or absent).
 func (d *Dataset) FeatureAlign() int { return d.featAlign }
 
-// FeatureReadAt reads raw feature-file bytes at the given byte offset —
-// the ringless access path the feature-cache builder uses, with the
-// same aligned bounce handling as ReadAt when the handle is O_DIRECT.
+// FeatureReadAt reads raw feature-file bytes at the given GLOBAL byte
+// offset (node id * stride over the whole graph) — the ringless access
+// path the feature-cache builder uses, with the same aligned bounce
+// handling as ReadAt when the handle is O_DIRECT. On a shard dataset
+// the offset is translated into the local slice of owned nodes'
+// records, mirroring ReadAt.
 func (d *Dataset) FeatureReadAt(p []byte, off int64) (int, error) {
 	if d.featF == nil {
 		return 0, fmt.Errorf("storage: dataset %s has no feature file", d.dir)
 	}
-	return readAtMaybeDirect(d.featF, d.featAlign, p, off)
+	return readAtMaybeDirect(d.featF, d.featAlign, p, off-d.shardLo*d.FeatureStride())
 }

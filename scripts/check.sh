@@ -22,9 +22,13 @@ go build ./...
 # per-batch sample digests at Threads=1,2,8 (the test runs all three and
 # diffs the digest streams; -race also sweeps the fan-out for races),
 # and every sampling strategy must hold the same contract at
-# Threads=1,2,4. Also part of the full suite below — run first so a
-# determinism break fails loudly and early.
+# Threads=1,2,4. Shard conformance rides in the same gate: router
+# responses over 2 and 4 shards (including injected shard faults) must
+# be digest-identical to a single-node run. Also part of the full suite
+# below — run first so a determinism break fails loudly and early.
 go test -race -run 'TestEpochThreadInvariance|TestEpochScalingInvariance|TestStrategyThreadInvariance' ./internal/core ./internal/exp
+go test -race -run 'TestRouterMatchesSingleNode|TestRouterShardFaultStillIdentical' ./internal/shard
+go test -race -run 'TestShardConformance' ./internal/serve
 
 if [ "${QUICK:-0}" = "1" ]; then
     go test -race -short ./...
@@ -93,4 +97,14 @@ if [ "${QUICK:-0}" != "1" ]; then
         -backend pool -threads 4 -batch 256 \
         -bench-json benchdata/BENCH_serve.json -bench-quick >/dev/null
     echo "wrote benchdata/BENCH_serve.json"
+
+    # Shard sweep (DESIGN.md §12): partition the dataset at 1/2/4
+    # shards, digest-check every count against the single-node baseline
+    # (a mismatch aborts the sweep), then measure routed throughput.
+    # QUICK=1 skips the sweep — the conformance tests in the gate above
+    # still cover digest identity.
+    go run ./cmd/serve -data benchdata/bench/ogbn-papers-div20000 \
+        -backend pool -threads 4 -batch 256 \
+        -bench-shard-json benchdata/BENCH_shard.json >/dev/null
+    echo "wrote benchdata/BENCH_shard.json"
 fi
