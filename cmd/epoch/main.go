@@ -31,9 +31,21 @@
 // benchdata/BENCH_uring.json-shaped output with digest identity
 // enforced across combinations.
 //
+// -train trains a minimal GraphSAGE node classifier end to end through
+// the double-buffered sample→fetch→train pipeline (workers sample and
+// fetch batch i+1 while the trainer computes on batch i); -train-serial
+// is the no-overlap reference, bit-identical in weights (DESIGN.md
+// §13). The dataset needs features and labels (temporary graphs default
+// to 16-dim features / 8 classes under -train; tune with -feature-dim
+// and -classes). -bench-train runs the {overlapped, serialized} ×
+// {feature cache off, full} sweep and writes
+// benchdata/BENCH_train.json-shaped output.
+//
 // Usage:
 //
 //	go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 -threads 8 -targets 4096
+//	go run ./cmd/epoch -train -train-epochs 5        # temporary labeled graph
+//	go run ./cmd/epoch -targets 2048 -bench-train benchdata/BENCH_train.json
 //	go run ./cmd/epoch -targets 8192 -invariance   # generates a temporary R-MAT graph
 //	go run ./cmd/epoch -targets 4096 -cache-mb 64 -bench-json benchdata/BENCH_epoch.json
 //	go run ./cmd/epoch -probe
@@ -60,11 +72,13 @@ import (
 	"ringsampler/internal/graph"
 	"ringsampler/internal/sample"
 	"ringsampler/internal/storage"
+	"ringsampler/internal/train"
 	"ringsampler/internal/uring"
 )
 
-func genTemp(dir string, nodes, edges int64, seed uint64, featureDim int) (graph.Manifest, error) {
-	return gen.GenerateWith(dir, "epoch-tmp", "rmat", nodes, edges, seed, gen.Options{FeatureDim: featureDim})
+func genTemp(dir string, nodes, edges int64, seed uint64, featureDim, classes int) (graph.Manifest, error) {
+	return gen.GenerateWith(dir, "epoch-tmp", "rmat", nodes, edges, seed,
+		gen.Options{FeatureDim: featureDim, NumClasses: classes})
 }
 
 // testWrapRing, when non-nil, decorates each run's rings keyed by that
@@ -107,6 +121,15 @@ func run(args []string, out io.Writer) error {
 		featMB      = fs.Int64("feature-cache-mb", 0, "hot-node feature cache budget in MiB (0: cache off)")
 		benchFeat   = fs.String("bench-features", "", "run the feature cache-budget ablation and write its JSON summary to this file")
 		benchFeatQ  = fs.Bool("bench-features-quick", false, "shrink the feature ablation to the cache-off/cache-all smoke pair")
+		classes     = fs.Int("classes", 0, "per-node label class count for the temporary graph (with empty -data; 0: no labels)")
+		trainMode   = fs.Bool("train", false, "train a GraphSAGE classifier through the double-buffered sample→fetch→train pipeline")
+		trainEpochs = fs.Int("train-epochs", 3, "training epoch count (with -train)")
+		trainHidden = fs.Int("train-hidden", 16, "GraphSAGE hidden width (with -train)")
+		trainLayers = fs.Int("train-layers", 2, "GraphSAGE depth; must not exceed the sampling fanout depth (with -train)")
+		trainLR     = fs.Float64("train-lr", 0.1, "SGD learning rate (with -train)")
+		trainSerial = fs.Bool("train-serial", false, "serialize the pipeline: sample each batch to completion before training on it (with -train)")
+		benchTrain  = fs.String("bench-train", "", "run the training pipeline sweep and write its JSON summary to this file")
+		benchTrainQ = fs.Bool("bench-train-quick", false, "shrink the training sweep to a 1-epoch smoke run (skips the throughput assertion)")
 		strategy    = fs.String("strategy", "", "sampling strategy: uniform, weighted, walk (empty: uniform)")
 		benchStrat  = fs.String("bench-strategy", "", "run the strategy sweep (thread invariance enforced per strategy) and write its JSON summary to this file")
 		benchStratQ = fs.Bool("bench-strategy-quick", false, "shrink the strategy sweep to the uniform-vs-walk smoke pair")
@@ -136,6 +159,12 @@ func run(args []string, out io.Writer) error {
 			} else {
 				fmt.Fprintf(out, "  features:         none\n")
 			}
+			if man.NumClasses > 0 {
+				fmt.Fprintf(out, "  labels:           %d classes, %d B total (checksum %s)\n",
+					man.NumClasses, man.NumNodes*storage.LabelBytes, man.LabelChecksum)
+			} else {
+				fmt.Fprintf(out, "  labels:           none\n")
+			}
 		}
 		return nil
 	}
@@ -156,6 +185,23 @@ func run(args []string, out io.Writer) error {
 	if *featureDim > 0 && *data != "" {
 		return fmt.Errorf("-feature-dim only applies to the temporary graph; %s already fixes its features", *data)
 	}
+	if *classes < 0 {
+		return fmt.Errorf("-classes %d must be non-negative", *classes)
+	}
+	if *classes > 0 && *data != "" {
+		return fmt.Errorf("-classes only applies to the temporary graph; %s already fixes its labels", *data)
+	}
+	training := *trainMode || *benchTrain != ""
+	if training && *data == "" {
+		// Training needs features and labels; default the temporary graph
+		// to a trainable shape instead of failing on an edge-only one.
+		if *featureDim == 0 {
+			*featureDim = 16
+		}
+		if *classes == 0 {
+			*classes = 8
+		}
+	}
 	be, err := pickBackend(*backend)
 	if err != nil {
 		return err
@@ -169,12 +215,16 @@ func run(args []string, out io.Writer) error {
 		}
 		defer os.RemoveAll(tmp)
 		dir = filepath.Join(tmp, "g")
-		if *featureDim > 0 {
+		switch {
+		case *featureDim > 0 && *classes > 0:
+			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges, %d-dim features, %d classes) ...\n",
+				*nodes, *edges, *featureDim, *classes)
+		case *featureDim > 0:
 			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges, %d-dim features) ...\n", *nodes, *edges, *featureDim)
-		} else {
+		default:
 			fmt.Fprintf(out, "generating temporary R-MAT graph (%d nodes, %d edges) ...\n", *nodes, *edges)
 		}
-		if _, err := genTemp(dir, *nodes, *edges, *seed, *featureDim); err != nil {
+		if _, err := genTemp(dir, *nodes, *edges, *seed, *featureDim, *classes); err != nil {
 			return err
 		}
 	}
@@ -204,8 +254,42 @@ func run(args []string, out io.Writer) error {
 	if ds.HasFeatures() {
 		fmt.Fprintf(out, "features: %d-dim f32, %d B/node stride\n", ds.FeatureDim(), ds.FeatureStride())
 	}
+	if ds.HasLabels() {
+		fmt.Fprintf(out, "labels: %d classes\n", ds.NumClasses())
+	}
 	if *odirect && ds.DirectAlign() > 0 {
 		fmt.Fprintf(out, "O_DIRECT active: %d-byte alignment\n", ds.DirectAlign())
+	}
+
+	if training {
+		// Training touches every target's label, but a shard dataset only
+		// serves a node range — its neighbor lists point outside the shard
+		// and gradient batches would silently mix shards. Labels are always
+		// full-graph (see DESIGN.md §13), so the only thing to reject is
+		// the partial adjacency.
+		if ds.IsSharded() {
+			return fmt.Errorf("training needs an unsharded dataset: %s is shard %d/%d (train against the unpartitioned source instead)",
+				dir, ds.ShardIndex(), ds.NumShards())
+		}
+		if !ds.HasFeatures() {
+			return fmt.Errorf("training needs node features: %s has no feature file (regenerate with a feature dim)", dir)
+		}
+		if !ds.HasLabels() {
+			return fmt.Errorf("training needs node labels: %s has no label file (regenerate with a class count)", dir)
+		}
+		cfg.FetchFeatures = true
+	}
+	if *benchTrain != "" {
+		return writeBenchTrain(out, *benchTrain, dir, ds, cfg, be, *targets, trainSweepOpts{
+			epochs: *trainEpochs, hidden: *trainHidden, layers: *trainLayers,
+			lr: float32(*trainLR), quick: *benchTrainQ,
+		})
+	}
+	if *trainMode {
+		return runTrain(ctx, out, ds, cfg, be, *targets, trainSweepOpts{
+			epochs: *trainEpochs, hidden: *trainHidden, layers: *trainLayers,
+			lr: float32(*trainLR),
+		}, *trainSerial)
 	}
 
 	if *benchUring != "" {
@@ -577,6 +661,131 @@ func writeBenchStrategy(out io.Writer, path, dir string, ds *storage.Dataset, cf
 		return err
 	}
 	fmt.Fprintf(out, "strategy sweep written to %s\n", path)
+	return nil
+}
+
+// trainSweepOpts bundles the -train-* model/optimizer flags.
+type trainSweepOpts struct {
+	epochs, hidden, layers int
+	lr                     float32
+	quick                  bool
+}
+
+// runTrain trains a GraphSAGE classifier for -train-epochs epochs and
+// prints the per-epoch loss/accuracy/throughput table. The overlapped
+// mode (default) trains batch i while the epoch runner's workers sample
+// and fetch batch i+1; -train-serial is the no-overlap reference — both
+// produce bit-identical weights (DESIGN.md §13).
+func runTrain(ctx context.Context, out io.Writer, ds *storage.Dataset, cfg core.Config, be uring.Backend, numTargets int, o trainSweepOpts, serialized bool) error {
+	labels, err := ds.Labels()
+	if err != nil {
+		return err
+	}
+	s, err := core.New(ds, cfg, be)
+	if err != nil {
+		return err
+	}
+	m, err := train.NewModel(train.Config{
+		FeatureDim: ds.FeatureDim(),
+		Hidden:     o.hidden,
+		Classes:    ds.NumClasses(),
+		Layers:     o.layers,
+		LR:         o.lr,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	rng := sample.NewRNG(sample.Mix(cfg.Seed, 0x7ea14))
+	targets := exp.UniformTargets(&rng, ds.NumNodes(), numTargets)
+	mode := "overlapped"
+	if serialized {
+		mode = "serialized"
+	}
+	fmt.Fprintf(out, "training %d-layer GraphSAGE (hidden %d, lr %g) on %d targets, %s pipeline\n",
+		o.layers, o.hidden, o.lr, len(targets), mode)
+	tr := &train.Trainer{Model: m, Labels: labels}
+	stats, err := tr.Run(ctx, s, targets, o.epochs, serialized)
+	for _, st := range stats {
+		fmt.Fprintf(out, "epoch %2d: loss %.4f  acc %.3f  %8.4fs (compute %.4fs, stall %.4fs, overlap %.2f)  %12.0f entries/s  weights %s\n",
+			st.Epoch, st.Loss, st.Accuracy, st.Seconds, st.ComputeSeconds, st.StallSeconds,
+			st.OverlapEfficiency, st.EntriesPerSec, st.WeightsDigest)
+	}
+	return err
+}
+
+// writeBenchTrain runs the training pipeline sweep (exp.TrainSweep) and
+// writes the per-configuration JSON summary (benchdata/BENCH_train.json
+// in CI): epochs-to-accuracy and end-to-end throughput for {overlapped,
+// serialized} × {feature cache off, full}, with bit-identical weights
+// enforced across all four points by the sweep itself. In full mode the
+// sweep also asserts the overlapped pipeline's throughput strictly
+// beats the serialized reference.
+func writeBenchTrain(out io.Writer, path, dir string, ds *storage.Dataset, cfg core.Config, be uring.Backend, targets int, o trainSweepOpts) error {
+	points, err := exp.TrainSweep(ds, exp.TrainOptions{
+		Options: exp.Options{
+			Targets:   targets,
+			BatchSize: cfg.BatchSize,
+			Threads:   cfg.Threads,
+		},
+		Epochs: o.epochs,
+		Hidden: o.hidden,
+		Layers: o.layers,
+		LR:     o.lr,
+		Quick:  o.quick,
+	}, be, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	type trainFile struct {
+		Dataset    string           `json:"dataset"`
+		Backend    string           `json:"backend"`
+		Threads    int              `json:"threads"`
+		Targets    int              `json:"targets"`
+		Epochs     int              `json:"epochs"`
+		FeatureDim int              `json:"feature_dim"`
+		Classes    int              `json:"classes"`
+		Hidden     int              `json:"hidden"`
+		Layers     int              `json:"layers"`
+		LR         float32          `json:"lr"`
+		Points     []exp.TrainPoint `json:"points"`
+	}
+	tf := trainFile{
+		Dataset:    dir,
+		Backend:    string(be),
+		Threads:    cfg.Threads,
+		Targets:    targets,
+		Epochs:     o.epochs,
+		FeatureDim: ds.FeatureDim(),
+		Classes:    ds.NumClasses(),
+		Hidden:     o.hidden,
+		Layers:     o.layers,
+		LR:         o.lr,
+		Points:     points,
+	}
+	for _, p := range points {
+		mode := "overlapped"
+		if p.Serialized {
+			mode = "serialized"
+		}
+		cache := "cache off"
+		if p.FeatCache {
+			cache = "cache full"
+		}
+		fmt.Fprintf(out, "train %-10s %-10s loss %.4f  acc %.3f  %12.0f entries/s  weights %s\n",
+			mode, cache, p.FinalLoss, p.FinalAccuracy, p.EntriesPerSec, p.FinalDigest)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "training sweep written to %s\n", path)
 	return nil
 }
 

@@ -231,3 +231,156 @@ func TestRunBenchUring(t *testing.T) {
 		t.Fatal("sweep file missing probed caps")
 	}
 }
+
+// labeledGraphDir generates a small featured+labeled R-MAT graph.
+func labeledGraphDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "g")
+	if _, err := gen.GenerateWith(dir, "cli-train", "rmat", 2000, 30000, 11,
+		gen.Options{FeatureDim: 8, NumClasses: 4}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunTrain: -train on a labeled dataset prints the per-epoch table
+// and exits cleanly in both pipeline modes; the final weight digests of
+// the two modes agree (the determinism contract at the CLI surface).
+func TestRunTrain(t *testing.T) {
+	dir := labeledGraphDir(t)
+	digest := func(serial bool) string {
+		var sb strings.Builder
+		args := []string{
+			"-data", dir, "-backend", "pool", "-targets", "256", "-batch", "64",
+			"-threads", "2", "-train", "-train-epochs", "2",
+			"-train-hidden", "8", "-train-lr", "0.5",
+		}
+		if serial {
+			args = append(args, "-train-serial")
+		}
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("run -train (serial=%v): %v\n%s", serial, err, sb.String())
+		}
+		out := sb.String()
+		if !strings.Contains(out, "labels: 4 classes") {
+			t.Fatalf("startup log missing label line:\n%s", out)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		last := lines[len(lines)-1]
+		if !strings.Contains(last, "epoch  1:") || !strings.Contains(last, "weights ") {
+			t.Fatalf("missing final epoch line:\n%s", out)
+		}
+		return last[strings.LastIndex(last, " ")+1:]
+	}
+	if over, ser := digest(false), digest(true); over != ser {
+		t.Fatalf("overlapped and serialized final weights differ: %s vs %s", over, ser)
+	}
+}
+
+// TestRunTrainTempGraph: -train with no -data defaults the temporary
+// graph to a trainable shape (features + labels) instead of failing.
+func TestRunTrainTempGraph(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-backend", "pool", "-nodes", "1500", "-edges", "20000",
+		"-targets", "128", "-batch", "64", "-threads", "2",
+		"-train", "-train-epochs", "1", "-train-hidden", "8",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run -train on temp graph: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "16-dim features, 8 classes") {
+		t.Fatalf("temp graph did not default to a trainable shape:\n%s", sb.String())
+	}
+}
+
+// TestRunTrainRejections: training on a shard, an unlabeled dataset, or
+// with bad label flags fails with a clear error instead of degrading.
+func TestRunTrainRejections(t *testing.T) {
+	labeled := labeledGraphDir(t)
+	shards, err := gen.Partition(labeled, filepath.Join(t.TempDir(), "shards"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-data", shards[0], "-backend", "pool", "-targets", "64", "-train"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unsharded") {
+		t.Fatalf("shard dataset accepted for training: %v", err)
+	}
+
+	plain := testGraphDir(t) // edge-only
+	err = run([]string{"-data", plain, "-backend", "pool", "-targets", "64", "-train"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "needs node features") {
+		t.Fatalf("feature-less dataset accepted for training: %v", err)
+	}
+
+	if err := run([]string{"-classes", "-1"}, io.Discard); err == nil {
+		t.Fatal("negative -classes accepted")
+	}
+	if err := run([]string{"-data", labeled, "-classes", "4"}, io.Discard); err == nil {
+		t.Fatal("-classes with -data accepted")
+	}
+	if err := run([]string{"-data", labeled, "-backend", "pool", "-train", "-train-epochs", "0"}, io.Discard); err == nil {
+		t.Fatal("-train-epochs 0 accepted")
+	}
+}
+
+// TestRunProbeLabels: -probe -data reports label presence and class
+// count for labeled datasets and "none" for edge-only ones.
+func TestRunProbeLabels(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-probe", "-data", labeledGraphDir(t)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "labels:           4 classes") {
+		t.Fatalf("probe output missing label report:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-probe", "-data", testGraphDir(t)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "labels:           none") {
+		t.Fatalf("probe output missing labels-none report:\n%s", sb.String())
+	}
+}
+
+// TestRunBenchTrain: the quick training sweep writes the four-point
+// JSON summary with bit-identical final weights across all points.
+func TestRunBenchTrain(t *testing.T) {
+	dir := labeledGraphDir(t)
+	path := filepath.Join(t.TempDir(), "BENCH_train.json")
+	err := run([]string{
+		"-data", dir, "-backend", "pool", "-targets", "256", "-batch", "64",
+		"-threads", "2", "-train-epochs", "1", "-train-hidden", "8",
+		"-bench-train", path, "-bench-train-quick",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run -bench-train: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		Classes int `json:"classes"`
+		Points  []struct {
+			Serialized    bool    `json:"serialized"`
+			FeatCache     bool    `json:"featCache"`
+			FinalDigest   string  `json:"finalDigest"`
+			EntriesPerSec float64 `json:"entriesPerSec"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if tf.Classes != 4 || len(tf.Points) != 4 {
+		t.Fatalf("unexpected sweep file: classes %d, %d points", tf.Classes, len(tf.Points))
+	}
+	for _, p := range tf.Points {
+		if p.FinalDigest != tf.Points[0].FinalDigest {
+			t.Fatalf("final weights differ across points: %+v", tf.Points)
+		}
+		if p.EntriesPerSec <= 0 {
+			t.Fatalf("non-positive training throughput: %+v", p)
+		}
+	}
+}

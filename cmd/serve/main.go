@@ -224,6 +224,15 @@ func run(args []string, out io.Writer) error {
 		return runShardBench(out, dir, cfg, *benchShard, *benchQuick)
 	}
 	if *benchJSON != "" {
+		// The load sweep skips the listener, so report the dataset shape
+		// (the feature/label lines the serving path prints) here.
+		fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), cfg.Backend)
+		if ds.HasFeatures() {
+			fmt.Fprintf(out, "features: %d-dim f32 per node; request them with POST /v1/sample?features=true\n", ds.FeatureDim())
+		}
+		if ds.HasLabels() {
+			fmt.Fprintf(out, "labels: %d classes per node (training datasets carry the full label file)\n", ds.NumClasses())
+		}
 		return runBench(out, ds, cfg, *benchJSON, *benchQuick)
 	}
 
@@ -287,6 +296,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "dataset %s: %d nodes, %d edges; backend %s\n", dir, ds.NumNodes(), ds.NumEdges(), eff.Backend)
 	if ds.HasFeatures() {
 		fmt.Fprintf(out, "features: %d-dim f32 per node; request them with POST /v1/sample?features=true\n", ds.FeatureDim())
+	}
+	if ds.HasLabels() {
+		fmt.Fprintf(out, "labels: %d classes per node (training datasets carry the full label file)\n", ds.NumClasses())
 	}
 	if ds.IsSharded() {
 		lo, hi := ds.ShardRange()

@@ -82,3 +82,28 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("negative cache budget accepted")
 	}
 }
+
+// TestRunReportsLabels: a labeled dataset's startup log includes the
+// class count next to the feature line.
+func TestRunReportsLabels(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "g")
+	if _, err := gen.GenerateWith(dir, "cli-labeled", "rmat", 1500, 20000, 11,
+		gen.Options{FeatureDim: 8, NumClasses: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-data", dir, "-backend", "sim", "-threads", "2", "-batch", "64",
+		"-bench-json", out, "-bench-quick",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "labels: 4 classes") {
+		t.Fatalf("startup log missing label line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "features: 8-dim f32") {
+		t.Fatalf("startup log missing feature line:\n%s", sb.String())
+	}
+}

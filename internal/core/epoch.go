@@ -184,6 +184,16 @@ func (s *Sampler) RunEpoch(targets []uint32, onBatch func(index int, b *Batch) e
 // SIGINT) read the stats, callers that only check err lose nothing.
 // EpochStats.Completed records how many batches actually ran.
 func (s *Sampler) RunEpochCtx(ctx context.Context, targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
+	return s.RunEpochSeeded(ctx, s.cfg.Seed, targets, onBatch)
+}
+
+// RunEpochSeeded is RunEpochCtx with an explicit epoch seed overriding
+// Config.Seed: batch bi draws from sample.Mix(seed, bi). Multi-epoch
+// consumers (the trainer) pass a fresh per-epoch seed so each epoch
+// resamples different neighborhoods while keeping the determinism
+// contract — the batch stream is still a pure function of (dataset,
+// config, targets, seed), independent of Threads.
+func (s *Sampler) RunEpochSeeded(ctx context.Context, seed uint64, targets []uint32, onBatch func(index int, b *Batch) error) (*EpochStats, error) {
 	cfg := &s.cfg
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("core: epoch needs at least one target")
@@ -253,7 +263,7 @@ func (s *Sampler) RunEpochCtx(ctx context.Context, targets []uint32, onBatch fun
 					hi = len(targets)
 				}
 				t0 := time.Now()
-				b, err := w.SampleBatchSeeded(targets[lo:hi], sample.Mix(cfg.Seed, uint64(bi)))
+				b, err := w.SampleBatchSeeded(targets[lo:hi], sample.Mix(seed, uint64(bi)))
 				r := epochResult{index: bi, batch: b, lat: time.Since(t0), err: err}
 				if err != nil {
 					r.err = fmt.Errorf("core: epoch batch %d (worker %d): %w", bi, wid, err)

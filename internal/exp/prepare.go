@@ -31,6 +31,15 @@ type paperDataset struct {
 	Nodes, Edges int64
 }
 
+// Every prepared dataset carries node features and training labels at
+// these shapes, so the feature-store and training benchmarks run on the
+// same checked-in graph as the structural ones. Baked into verify():
+// an older feature-less checkout fails verification and regenerates.
+const (
+	benchFeatureDim = 16
+	benchNumClasses = 8
+)
+
 var paperDatasets = map[string]paperDataset{
 	"ogbn-papers": {Nodes: 111_000_000, Edges: 1_600_000_000},
 	"friendster":  {Nodes: 65_000_000, Edges: 3_600_000_000},
@@ -74,7 +83,8 @@ func Prepare(root, name string, divisor int, regen bool) (*Prepared, error) {
 			return &Prepared{Dir: dir, Manifest: man}, nil
 		}
 	}
-	if _, err := gen.Generate(dir, name, "rmat", nodes, edges, datasetSeed(name, divisor)); err != nil {
+	opts := gen.Options{FeatureDim: benchFeatureDim, NumClasses: benchNumClasses}
+	if _, err := gen.GenerateWith(dir, name, "rmat", nodes, edges, datasetSeed(name, divisor), opts); err != nil {
 		return nil, fmt.Errorf("exp: generate %s: %w", dir, err)
 	}
 	man, err := verify(dir, name, nodes, edges)
@@ -100,6 +110,10 @@ func verify(dir, name string, nodes, edges int64) (graph.Manifest, error) {
 	if man.NumNodes != nodes || man.NumEdges != edges {
 		return man, fmt.Errorf("exp: dataset %s has %d nodes / %d edges, want %d / %d",
 			dir, man.NumNodes, man.NumEdges, nodes, edges)
+	}
+	if man.FeatureDim != benchFeatureDim || man.NumClasses != benchNumClasses {
+		return man, fmt.Errorf("exp: dataset %s has featureDim %d / numClasses %d, want %d / %d",
+			dir, man.FeatureDim, man.NumClasses, benchFeatureDim, benchNumClasses)
 	}
 	return man, nil
 }

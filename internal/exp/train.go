@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/train"
+	"ringsampler/internal/uring"
+)
+
+// TrainOptions parameterizes a training sweep on top of the common
+// experiment knobs. The model's FeatureDim and Classes always come from
+// the dataset manifest — only the architecture and optimizer are free.
+type TrainOptions struct {
+	Options
+	// Epochs per sweep point.
+	Epochs int
+	// Hidden is the GraphSAGE hidden width; Layers the model depth
+	// (must not exceed the sampler fanout depth); LR the SGD step.
+	Hidden int
+	Layers int
+	LR     float32
+	// Quick skips the strict overlapped-beats-serialized throughput
+	// assertion (timing on a 1-epoch smoke run is pure noise); the
+	// determinism assertions always hold.
+	Quick bool
+}
+
+// TrainPoint is one pipeline×cache configuration of the training sweep.
+type TrainPoint struct {
+	// Serialized: the no-overlap reference pipeline. FeatCache: whether
+	// the hot-node feature cache was enabled (full budget) or off.
+	Serialized bool  `json:"serialized"`
+	FeatCache  bool  `json:"featCache"`
+	CacheBytes int64 `json:"cacheBytes"`
+	// Epochs holds the per-epoch training stats in order.
+	Epochs []*train.EpochStats `json:"epochs"`
+	// FinalLoss/FinalAccuracy/FinalDigest summarize the last epoch;
+	// EntriesPerSec is the mean end-to-end throughput across epochs.
+	FinalLoss     float64 `json:"finalLoss"`
+	FinalAccuracy float64 `json:"finalAccuracy"`
+	FinalDigest   string  `json:"finalDigest"`
+	EntriesPerSec float64 `json:"entriesPerSec"`
+}
+
+// TrainSweep trains the same model over the same epoch workload through
+// four pipeline configurations — {overlapped, serialized} × {feature
+// cache off, full} — and verifies the training determinism contract as
+// it goes: every point must finish with bit-identical weights, losses,
+// and accuracies (the pipeline mode and the cache may change timings,
+// never a single payload byte or gradient). In full (non-quick) runs it
+// additionally asserts the point of the double-buffered design: the
+// overlapped pipeline's end-to-end throughput strictly beats the
+// serialized reference at the same cache setting.
+func TrainSweep(ds *storage.Dataset, o TrainOptions, backend uring.Backend, seed uint64) ([]TrainPoint, error) {
+	if !ds.HasFeatures() || !ds.HasLabels() {
+		return nil, fmt.Errorf("exp: train sweep needs a dataset with features and labels")
+	}
+	if o.Targets <= 0 {
+		return nil, fmt.Errorf("exp: train sweep needs positive target count, got %d", o.Targets)
+	}
+	if o.Epochs <= 0 {
+		return nil, fmt.Errorf("exp: train sweep needs positive epoch count, got %d", o.Epochs)
+	}
+	labels, err := ds.Labels()
+	if err != nil {
+		return nil, err
+	}
+	rng := sample.NewRNG(sample.Mix(seed, 0x7ea14))
+	targets := UniformTargets(&rng, ds.NumNodes(), o.Targets)
+
+	modes := []struct {
+		serialized bool
+		featCache  bool
+	}{
+		{false, false},
+		{true, false},
+		{false, true},
+		{true, true},
+	}
+	// Non-quick runs repeat each point and keep the best throughput —
+	// training is deterministic, so reruns are free extra evidence for
+	// the timing comparison (the weights must not move between reps) and
+	// the best-of-N damps scheduler noise on the thin overlap margins.
+	reps := 3
+	if o.Quick {
+		reps = 1
+	}
+	out := make([]TrainPoint, 0, len(modes))
+	for _, mode := range modes {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.FetchFeatures = true
+		if mode.featCache {
+			cfg.FeatureCacheBudgetBytes = 1 << 30
+		}
+		if o.BatchSize > 0 {
+			cfg.BatchSize = o.BatchSize
+		}
+		if o.Threads > 0 {
+			cfg.Threads = o.Threads
+		}
+		var p TrainPoint
+		for rep := 0; rep < reps; rep++ {
+			s, err := core.New(ds, cfg, backend)
+			if err != nil {
+				return nil, fmt.Errorf("exp: train sweep: %w", err)
+			}
+			m, err := train.NewModel(train.Config{
+				FeatureDim: ds.FeatureDim(),
+				Hidden:     o.Hidden,
+				Classes:    ds.NumClasses(),
+				Layers:     o.Layers,
+				LR:         o.LR,
+				Seed:       seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: train sweep: %w", err)
+			}
+			tr := &train.Trainer{Model: m, Labels: labels}
+			stats, err := tr.Run(context.Background(), s, targets, o.Epochs, mode.serialized)
+			if err != nil {
+				return nil, fmt.Errorf("exp: train sweep (serialized=%v featCache=%v): %w",
+					mode.serialized, mode.featCache, err)
+			}
+			last := stats[len(stats)-1]
+			var entries, secs float64
+			for _, st := range stats {
+				entries += float64(st.Sampled)
+				secs += st.Seconds
+			}
+			var eps float64
+			if secs > 0 {
+				eps = entries / secs
+			}
+			if rep == 0 {
+				p = TrainPoint{
+					Serialized:    mode.serialized,
+					FeatCache:     mode.featCache,
+					Epochs:        stats,
+					FinalLoss:     last.Loss,
+					FinalAccuracy: last.Accuracy,
+					FinalDigest:   last.WeightsDigest,
+					EntriesPerSec: eps,
+				}
+				_, p.CacheBytes = s.FeatureCacheInfo()
+				continue
+			}
+			if last.WeightsDigest != p.FinalDigest {
+				return nil, fmt.Errorf("exp: train sweep rep %d retrained to different weights (serialized=%v featCache=%v): %s vs %s",
+					rep, mode.serialized, mode.featCache, last.WeightsDigest, p.FinalDigest)
+			}
+			if eps > p.EntriesPerSec {
+				p.EntriesPerSec = eps
+			}
+		}
+		out = append(out, p)
+	}
+
+	// Determinism: every point trained through an identical batch stream
+	// with fixed-order gradient reduction, so the full loss curve and
+	// the final weights must agree bit for bit.
+	ref := out[0]
+	for _, p := range out[1:] {
+		if p.FinalDigest != ref.FinalDigest {
+			return nil, fmt.Errorf("exp: train sweep weights diverge: serialized=%v featCache=%v got %s, reference %s",
+				p.Serialized, p.FeatCache, p.FinalDigest, ref.FinalDigest)
+		}
+		for e := range ref.Epochs {
+			if p.Epochs[e].Loss != ref.Epochs[e].Loss || p.Epochs[e].Accuracy != ref.Epochs[e].Accuracy {
+				return nil, fmt.Errorf("exp: train sweep loss curve diverges at epoch %d: serialized=%v featCache=%v",
+					e, p.Serialized, p.FeatCache)
+			}
+		}
+	}
+	if !o.Quick {
+		for _, fc := range []bool{false, true} {
+			over, ser := findTrainPoint(out, false, fc), findTrainPoint(out, true, fc)
+			if over.EntriesPerSec <= ser.EntriesPerSec {
+				return nil, fmt.Errorf("exp: overlapped pipeline did not beat serialized (featCache=%v): %.0f vs %.0f entries/s",
+					fc, over.EntriesPerSec, ser.EntriesPerSec)
+			}
+		}
+	}
+	return out, nil
+}
+
+func findTrainPoint(points []TrainPoint, serialized, featCache bool) *TrainPoint {
+	for i := range points {
+		if points[i].Serialized == serialized && points[i].FeatCache == featCache {
+			return &points[i]
+		}
+	}
+	return nil
+}

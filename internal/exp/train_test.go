@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"testing"
+
+	"ringsampler/internal/gen"
+	"ringsampler/internal/storage"
+	"ringsampler/internal/uring"
+)
+
+// TestTrainSweepQuick: the training benchmark sweep on a small labeled
+// graph in quick mode (determinism assertions only — a tiny in-memory
+// run carries no meaningful timing signal). TrainSweep itself enforces
+// bit-identical weights and loss curves across all four pipeline×cache
+// points; the test checks the sweep's shape and that training moved.
+func TestTrainSweepQuick(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := gen.GenerateWith(dir, "trainexp", "rmat", 2_500, 35_000, 21,
+		gen.Options{FeatureDim: 8, NumClasses: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	o := TrainOptions{
+		Options: Options{Targets: 256, BatchSize: 64, Threads: 2},
+		Epochs:  2, Hidden: 8, Layers: 2, LR: 0.5, Quick: true,
+	}
+	points, err := TrainSweep(ds, o, uring.BackendPool, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for _, p := range points {
+		t.Logf("serialized=%v featCache=%v: loss %.4f acc %.3f %.0f entries/s digest %s",
+			p.Serialized, p.FeatCache, p.FinalLoss, p.FinalAccuracy, p.EntriesPerSec, p.FinalDigest)
+		if len(p.Epochs) != o.Epochs {
+			t.Fatalf("point has %d epochs, want %d", len(p.Epochs), o.Epochs)
+		}
+		if p.FinalDigest != points[0].FinalDigest {
+			t.Fatalf("weights digest differs across points: %s vs %s", p.FinalDigest, points[0].FinalDigest)
+		}
+		if p.FinalLoss <= 0 || p.EntriesPerSec <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if p.FeatCache && p.CacheBytes == 0 {
+			t.Fatal("featCache point pinned no bytes")
+		}
+		if !p.FeatCache && p.CacheBytes != 0 {
+			t.Fatalf("cache-off point pinned %d bytes", p.CacheBytes)
+		}
+	}
+	for _, p := range points[1:] {
+		if p.Epochs[1].Loss != points[0].Epochs[1].Loss {
+			t.Fatal("loss curve differs across points")
+		}
+	}
+	// Training across both epochs improved on the first epoch's loss.
+	if points[0].Epochs[1].Loss >= points[0].Epochs[0].Loss {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f",
+			points[0].Epochs[0].Loss, points[0].Epochs[1].Loss)
+	}
+
+	// An unlabeled dataset is rejected up front.
+	plainDir := t.TempDir()
+	if _, err := gen.GenerateWith(plainDir, "plain", "rmat", 500, 4_000, 5, gen.Options{FeatureDim: 8}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := storage.Open(plainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := TrainSweep(plain, o, uring.BackendPool, 7); err == nil {
+		t.Fatal("unlabeled dataset accepted")
+	}
+}

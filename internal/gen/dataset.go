@@ -16,6 +16,12 @@ type Options struct {
 	// f32 vector per node, deterministic per (seed, node), with its size
 	// and FNV-1a checksum recorded in the manifest.
 	FeatureDim int
+
+	// NumClasses, when ≥ 2, emits labels.bin: one uint32 class id per
+	// node derived from the node's feature vector (so the labeling is
+	// linearly realizable — see writeLabels), with the class count and
+	// FNV-1a checksum recorded in the manifest. Requires FeatureDim > 0.
+	NumClasses int
 }
 
 // Generate builds a complete on-disk dataset in dir: stream a synthetic
@@ -33,6 +39,14 @@ func GenerateWith(dir, name, kind string, nodes, edges int64, seed uint64, o Opt
 	var man graph.Manifest
 	if o.FeatureDim < 0 {
 		return man, fmt.Errorf("gen: feature dim %d must be non-negative", o.FeatureDim)
+	}
+	if o.NumClasses != 0 {
+		if o.NumClasses < 2 {
+			return man, fmt.Errorf("gen: numClasses %d must be 0 (no labels) or at least 2", o.NumClasses)
+		}
+		if o.FeatureDim == 0 {
+			return man, fmt.Errorf("gen: labels need features (numClasses %d with featureDim 0)", o.NumClasses)
+		}
 	}
 	tmpDir := filepath.Join(dir, ".extsort")
 	sorter, err := graph.NewExternalSorter(tmpDir, 1<<20)
@@ -77,6 +91,15 @@ func GenerateWith(dir, name, kind string, nodes, edges int64, seed uint64, o Opt
 			return man, err
 		}
 		if err := w.SetFeatures(o.FeatureDim, featBytes, sum); err != nil {
+			return man, err
+		}
+	}
+	if o.NumClasses >= 2 {
+		sum, err := writeLabels(dir, nodes, o.FeatureDim, o.NumClasses, seed)
+		if err != nil {
+			return man, err
+		}
+		if err := w.SetLabels(o.NumClasses, sum); err != nil {
 			return man, err
 		}
 	}

@@ -18,13 +18,25 @@ import (
 // edge-generation streams that mix the same seed.
 const featureSalt = 0xfea7f11e
 
+// nodeFeature fills vec with node v's feature vector: len(vec) f32
+// values in [0,1) drawn from a node-local RNG seeded
+// Mix(seed^featureSalt, v). Node-local seeding makes every vector a
+// pure function of (seed, v) — independent of write order — which is
+// what the conformance suite's byte-identity assertions anchor on, and
+// what lets the label generator rederive a node's vector without
+// reading features.bin.
+func nodeFeature(seed uint64, v int64, vec []float32) {
+	rng := sample.NewRNG(sample.Mix(seed^featureSalt, uint64(v)))
+	for d := range vec {
+		// Top 24 bits of the draw -> f32 in [0,1) with full mantissa
+		// coverage.
+		vec[d] = float32(rng.Next()>>40) / (1 << 24)
+	}
+}
+
 // writeFeatures emits dir/features.bin: one dim-wide f32 vector per
-// node, values in [0,1), node v's vector derived from a node-local RNG
-// seeded Mix(seed^featureSalt, v). Node-local seeding makes every
-// vector a pure function of (seed, v) — independent of write order —
-// which is what the conformance suite's byte-identity assertions anchor
-// on. Returns the byte count and FNV-1a 64 hex checksum for the
-// manifest.
+// node, values from nodeFeature. Returns the byte count and FNV-1a 64
+// hex checksum for the manifest.
 func writeFeatures(dir string, nodes int64, dim int, seed uint64) (int64, string, error) {
 	if dim <= 0 {
 		return 0, "", fmt.Errorf("gen: feature dim %d must be positive", dim)
@@ -35,13 +47,11 @@ func writeFeatures(dir string, nodes int64, dim int, seed uint64) (int64, string
 	}
 	h := fnv.New64a()
 	bw := bufio.NewWriterSize(io.MultiWriter(f, h), 1<<16)
+	vec := make([]float32, dim)
 	var rec [storage.FeatureElemBytes]byte
 	for v := int64(0); v < nodes; v++ {
-		rng := sample.NewRNG(sample.Mix(seed^featureSalt, uint64(v)))
-		for d := 0; d < dim; d++ {
-			// Top 24 bits of the draw -> f32 in [0,1) with full mantissa
-			// coverage.
-			val := float32(rng.Next()>>40) / (1 << 24)
+		nodeFeature(seed, v, vec)
+		for _, val := range vec {
 			binary.LittleEndian.PutUint32(rec[:], math.Float32bits(val))
 			if _, err := bw.Write(rec[:]); err != nil {
 				f.Close()

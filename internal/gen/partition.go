@@ -18,7 +18,12 @@ import (
 // counts. Every shard gets the FULL offset index (node-proportional,
 // the same in-memory structure a single node holds) plus only its own
 // slice of edges.dat and features.bin, with the manifest's BinBytes,
-// FeatBytes, and FeatChecksum recomputed for the local files.
+// FeatBytes, and FeatChecksum recomputed for the local files. The label
+// file, when present, is copied WHOLE to every shard — it is
+// node-proportional like the offset index, and a training consumer
+// fronted by the router needs every target's label regardless of which
+// shard owns the target's bytes — so the manifest's label fields carry
+// over unchanged.
 //
 // The slicing is pure byte copying — no re-encoding — so a shard's
 // bytes for an owned node are identical to the single-node dataset's,
@@ -99,6 +104,14 @@ func Partition(srcDir, dstRoot string, shards int) ([]string, error) {
 			sman.FeatBytes = (hi - lo) * stride
 			sman.FeatChecksum, err = storage.ChecksumFile(featPath)
 			if err != nil {
+				return nil, err
+			}
+		}
+		if ds.HasLabels() {
+			if err := copySlice(
+				filepath.Join(srcDir, storage.LabelsFile),
+				filepath.Join(sdir, storage.LabelsFile),
+				0, numNodes*storage.LabelBytes); err != nil {
 				return nil, err
 			}
 		}

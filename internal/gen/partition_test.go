@@ -145,3 +145,121 @@ func TestPartitionRejectsTamperedShard(t *testing.T) {
 		t.Fatal("LoadEdges succeeded on a shard dataset")
 	}
 }
+
+// TestPartitionCarriesFullLabels is the regression test for the
+// labels × sharding interaction: every shard of a labeled dataset must
+// open cleanly (the partition self-check would reject a shard whose
+// labels.bin is missing or partial) and serve the WHOLE graph's label
+// array byte-identically — not just its owned range — because a
+// training consumer behind the router looks up every target's label
+// locally.
+func TestPartitionCarriesFullLabels(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "g")
+	if _, err := GenerateWith(src, "partlab", "rmat", 1500, 20_000, 13,
+		Options{FeatureDim: 5, NumClasses: 4}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := storage.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	want, err := full.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirs, err := Partition(src, filepath.Join(t.TempDir(), "shards"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dir := range dirs {
+		sd, err := storage.Open(dir)
+		if err != nil {
+			t.Fatalf("open shard %d: %v", i, err)
+		}
+		if !sd.HasLabels() || sd.NumClasses() != full.NumClasses() {
+			t.Fatalf("shard %d labels: has=%v classes=%d, want %d",
+				i, sd.HasLabels(), sd.NumClasses(), full.NumClasses())
+		}
+		got, err := sd.Labels()
+		if err != nil {
+			t.Fatalf("shard %d labels: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shard %d has %d labels, want the full graph's %d", i, len(got), len(want))
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("shard %d label[%d] = %d, want %d", i, v, got[v], want[v])
+			}
+		}
+		sd.Close()
+	}
+
+	// A shard stripped of its label file must be rejected at open with a
+	// clear error, never served label-less.
+	if err := os.Remove(filepath.Join(dirs[1], storage.LabelsFile)); err != nil {
+		t.Fatal(err)
+	}
+	if ds, err := storage.Open(dirs[1]); err == nil {
+		ds.Close()
+		t.Fatal("shard with deleted labels.bin opened cleanly")
+	}
+}
+
+// TestGenerateLabelsDeterministicAndBalanced: labels are a pure
+// function of (seed, node), every class shows up on a reasonably sized
+// graph, and regeneration is byte-identical.
+func TestGenerateLabelsDeterministicAndBalanced(t *testing.T) {
+	const classes = 5
+	opts := Options{FeatureDim: 6, NumClasses: classes}
+	dirA := filepath.Join(t.TempDir(), "a")
+	manA, err := GenerateWith(dirA, "lab", "rmat", 3000, 9000, 17, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manA.NumClasses != classes || manA.LabelChecksum == "" {
+		t.Fatalf("manifest labels: classes=%d checksum=%q", manA.NumClasses, manA.LabelChecksum)
+	}
+	dirB := filepath.Join(t.TempDir(), "b")
+	manB, err := GenerateWith(dirB, "lab", "rmat", 3000, 9000, 17, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manA.LabelChecksum != manB.LabelChecksum {
+		t.Fatalf("regeneration changed labels: %s vs %s", manA.LabelChecksum, manB.LabelChecksum)
+	}
+	ds, err := storage.Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	labels, err := ds.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, classes)
+	for _, lab := range labels {
+		counts[lab]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d never assigned across %d nodes: %v", c, len(labels), counts)
+		}
+	}
+}
+
+// TestGenerateLabelOptionsValidation: labels without features, and
+// degenerate class counts, are rejected up front.
+func TestGenerateLabelOptionsValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := GenerateWith(filepath.Join(dir, "a"), "x", "rmat", 100, 200, 1,
+		Options{NumClasses: 4}); err == nil {
+		t.Fatal("labels without features accepted")
+	}
+	if _, err := GenerateWith(filepath.Join(dir, "b"), "x", "rmat", 100, 200, 1,
+		Options{FeatureDim: 4, NumClasses: 1}); err == nil {
+		t.Fatal("single-class labeling accepted")
+	}
+}

@@ -28,6 +28,16 @@ type Edge struct {
 // three are zero/empty for edge-only datasets, so pre-feature manifests
 // load unchanged.
 //
+// The label fields describe the optional per-node label file
+// (labels.bin): one little-endian uint32 class id in [0, NumClasses)
+// per node, integrity-checked against LabelChecksum (FNV-1a 64, hex)
+// and value-range-checked at open. Both are zero/empty for unlabeled
+// datasets, so pre-label manifests load unchanged. Unlike the edge and
+// feature files, labels.bin is always the FULL graph's labels — shards
+// carry it whole (it is node-proportional, like the offset index every
+// shard already holds), so a training consumer fronted by a router sees
+// the same labels a single node would.
+//
 // The shard fields describe a node-range slice of a partitioned dataset
 // (DESIGN.md §12). NumShards 0 means an ordinary unsharded dataset (so
 // pre-shard manifests load unchanged). In a shard manifest NumNodes and
@@ -36,19 +46,21 @@ type Edge struct {
 // the local files: edges.dat holds only the entries of nodes in
 // [ShardLo, ShardHi) and features.bin only those nodes' vectors.
 type Manifest struct {
-	Version      int       `json:"version"`
-	Name         string    `json:"name"`
-	NumNodes     int64     `json:"numNodes"`
-	NumEdges     int64     `json:"numEdges"`
-	BinBytes     int64     `json:"binBytes"`
-	FeatureDim   int       `json:"featureDim,omitempty"`
-	FeatBytes    int64     `json:"featBytes,omitempty"`
-	FeatChecksum string    `json:"featChecksum,omitempty"`
-	NumShards    int       `json:"numShards,omitempty"`
-	ShardIndex   int       `json:"shardIndex,omitempty"`
-	ShardLo      int64     `json:"shardLo,omitempty"`
-	ShardHi      int64     `json:"shardHi,omitempty"`
-	CreatedAt    time.Time `json:"createdAt"`
+	Version       int       `json:"version"`
+	Name          string    `json:"name"`
+	NumNodes      int64     `json:"numNodes"`
+	NumEdges      int64     `json:"numEdges"`
+	BinBytes      int64     `json:"binBytes"`
+	FeatureDim    int       `json:"featureDim,omitempty"`
+	FeatBytes     int64     `json:"featBytes,omitempty"`
+	FeatChecksum  string    `json:"featChecksum,omitempty"`
+	NumClasses    int       `json:"numClasses,omitempty"`
+	LabelChecksum string    `json:"labelChecksum,omitempty"`
+	NumShards     int       `json:"numShards,omitempty"`
+	ShardIndex    int       `json:"shardIndex,omitempty"`
+	ShardLo       int64     `json:"shardLo,omitempty"`
+	ShardHi       int64     `json:"shardHi,omitempty"`
+	CreatedAt     time.Time `json:"createdAt"`
 }
 
 // ManifestVersion is the current manifest schema version.

@@ -49,6 +49,13 @@ type Dataset struct {
 	edgesOnce sync.Once
 	edges     []uint32
 	edgesErr  error
+
+	// labelPath is the validated label file (empty for unlabeled
+	// datasets); the decoded array is lazily loaded by Labels.
+	labelPath  string
+	labelsOnce sync.Once
+	labels     []uint32
+	labelsErr  error
 }
 
 // Manifest re-exported to avoid forcing every caller to import graph.
@@ -129,9 +136,14 @@ func OpenWith(dir string, opts OpenOptions) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	labelPath, err := validateLabels(dir, man)
+	if err != nil {
+		return nil, err
+	}
 	d := &Dataset{
 		dir: dir, man: man, offsets: offsets,
 		shardLo: shardLo, shardHi: shardHi, entryBase: offsets[shardLo],
+		labelPath: labelPath,
 	}
 	if featPath != "" {
 		d.featF, d.featAlign, err = openMaybeDirect(featPath, man.FeatBytes, opts.Direct)

@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Label-store layout (DESIGN.md §13): labels.bin is a flat array of
+// NumNodes little-endian uint32 class ids, node v's label at byte
+// v*LabelBytes, every value in [0, NumClasses). Unlike the edge and
+// feature files, a shard dataset carries the WHOLE graph's labels —
+// the file is node-proportional like the offset index, and a training
+// consumer downstream of the router needs every target's label no
+// matter which shard owned the target's bytes.
+const (
+	LabelsFile = "labels.bin"
+
+	LabelBytes = 4 // one little-endian uint32 class id
+
+	// maxNumClasses bounds the class count accepted at open. Generous
+	// for any real node-classification task, small enough that a corrupt
+	// manifest cannot make the out-of-range scan meaningless.
+	maxNumClasses = 1 << 20
+)
+
+// validateLabels checks the manifest's label fields against the
+// directory contents with the same strictness as the feature checks: a
+// labeled dataset whose file is truncated, whose bytes fail the
+// checksum, or which contains a class id at or above NumClasses is
+// rejected at open rather than surfacing as a panic (or silently wrong
+// supervision) mid-training. The scan and the checksum share one pass
+// over the file. Returns the label file path for a labeled dataset, or
+// "" for a valid unlabeled one. Labels are always whole-graph, so the
+// expected size is NumNodes*LabelBytes even on a shard dataset.
+func validateLabels(dir string, man Manifest) (string, error) {
+	if man.NumClasses < 0 {
+		return "", fmt.Errorf("storage: manifest %s has negative numClasses %d", dir, man.NumClasses)
+	}
+	if man.NumClasses == 0 {
+		if man.LabelChecksum != "" {
+			return "", fmt.Errorf("storage: manifest %s has numClasses 0 but labelChecksum %q — inconsistent label fields",
+				dir, man.LabelChecksum)
+		}
+		return "", nil
+	}
+	if man.NumClasses > maxNumClasses {
+		return "", fmt.Errorf("storage: manifest %s numClasses %d exceeds limit %d", dir, man.NumClasses, maxNumClasses)
+	}
+	if man.LabelChecksum == "" {
+		return "", fmt.Errorf("storage: manifest %s declares %d classes but no labelChecksum", dir, man.NumClasses)
+	}
+	path := filepath.Join(dir, LabelsFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("storage: stat label file: %w", err)
+	}
+	want := man.NumNodes * LabelBytes
+	if fi.Size() != want {
+		return "", fmt.Errorf("storage: label file %s is %d bytes, manifest expects %d (truncated capture?)", path, fi.Size(), want)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("storage: open label file: %w", err)
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	br := bufio.NewReaderSize(io.TeeReader(f, h), 1<<16)
+	var rec [LabelBytes]byte
+	for v := int64(0); v < man.NumNodes; v++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return "", fmt.Errorf("storage: read label file %s at node %d: %w", path, v, err)
+		}
+		if lab := binary.LittleEndian.Uint32(rec[:]); lab >= uint32(man.NumClasses) {
+			return "", fmt.Errorf("storage: label file %s has label %d out of range [0,%d) at node %d",
+				path, lab, man.NumClasses, v)
+		}
+	}
+	if sum := fmt.Sprintf("%016x", h.Sum64()); sum != man.LabelChecksum {
+		return "", fmt.Errorf("storage: label file %s checksum %s != manifest %s (corrupt capture?)", path, sum, man.LabelChecksum)
+	}
+	return path, nil
+}
+
+// HasLabels reports whether the dataset carries a per-node label file.
+func (d *Dataset) HasLabels() bool { return d.labelPath != "" }
+
+// NumClasses returns the label class count, or 0 for an unlabeled
+// dataset.
+func (d *Dataset) NumClasses() int { return d.man.NumClasses }
+
+// Labels returns the whole graph's per-node label array (labels[v] is
+// node v's class id), lazily loaded and cached on first call. The array
+// is node-proportional — 4 bytes per node, half the offset index the
+// sampler already holds — which is what lets the training consumer keep
+// every target's supervision in memory while the features stay on disk
+// behind the ring. Callers must not mutate the returned slice.
+func (d *Dataset) Labels() ([]uint32, error) {
+	if d.labelPath == "" {
+		return nil, fmt.Errorf("storage: dataset %s has no label file", d.dir)
+	}
+	d.labelsOnce.Do(func() {
+		data, err := os.ReadFile(d.labelPath)
+		if err != nil {
+			d.labelsErr = fmt.Errorf("storage: load labels: %w", err)
+			return
+		}
+		labels := make([]uint32, len(data)/LabelBytes)
+		for i := range labels {
+			labels[i] = binary.LittleEndian.Uint32(data[i*LabelBytes:])
+		}
+		d.labels = labels
+	})
+	return d.labels, d.labelsErr
+}

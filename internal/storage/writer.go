@@ -44,6 +44,11 @@ type Writer struct {
 	featDim      int
 	featBytes    int64
 	featChecksum string
+
+	// Staged label metadata (SetLabels). Zero values mean an unlabeled
+	// dataset.
+	numClasses    int
+	labelChecksum string
 }
 
 // NewWriter creates dir (if needed) and opens the edge file for a
@@ -114,6 +119,23 @@ func (w *Writer) SetFeatures(dim int, featBytes int64, checksum string) error {
 	return nil
 }
 
+// SetLabels stages the label-file metadata Finish records in the
+// manifest. The caller is responsible for having written dir/labels.bin
+// with numNodes little-endian uint32 class ids, all in
+// [0, numClasses), whose FNV-1a 64 digest is checksum — Open re-verifies
+// every record.
+func (w *Writer) SetLabels(numClasses int, checksum string) error {
+	if numClasses < 2 {
+		return fmt.Errorf("storage: numClasses %d must be at least 2", numClasses)
+	}
+	if numClasses > maxNumClasses {
+		return fmt.Errorf("storage: numClasses %d exceeds limit %d", numClasses, maxNumClasses)
+	}
+	w.numClasses = numClasses
+	w.labelChecksum = checksum
+	return nil
+}
+
 // Finish flushes the edge file, writes the offset index and manifest,
 // and returns the manifest. The writer is unusable afterwards.
 func (w *Writer) Finish() (graph.Manifest, error) {
@@ -148,14 +170,16 @@ func (w *Writer) Finish() (graph.Manifest, error) {
 		return man, fmt.Errorf("storage: close offset index: %w", err)
 	}
 	man = graph.Manifest{
-		Version:      graph.ManifestVersion,
-		Name:         w.name,
-		NumNodes:     w.numNodes,
-		NumEdges:     w.count,
-		BinBytes:     w.count * EntryBytes,
-		FeatureDim:   w.featDim,
-		FeatBytes:    w.featBytes,
-		FeatChecksum: w.featChecksum,
+		Version:       graph.ManifestVersion,
+		Name:          w.name,
+		NumNodes:      w.numNodes,
+		NumEdges:      w.count,
+		BinBytes:      w.count * EntryBytes,
+		FeatureDim:    w.featDim,
+		FeatBytes:     w.featBytes,
+		FeatChecksum:  w.featChecksum,
+		NumClasses:    w.numClasses,
+		LabelChecksum: w.labelChecksum,
 	}
 	if err := man.Save(filepath.Join(w.dir, ManifestFile)); err != nil {
 		return man, err

@@ -1,0 +1,512 @@
+// Package train closes the loop the paper's Fig 4/5 baselines imply: a
+// minimal, dependency-free GraphSAGE consumer that trains on the
+// batches the sampler produces — mean-aggregator layers over
+// Batch.Features, f32 dense matmuls, softmax cross-entropy, plain SGD.
+//
+// The package inherits the repo's determinism contract (DESIGN.md §13):
+// a training run's loss curve and final weights are a pure function of
+// (dataset, core.Config, targets, seed, train.Config). Two things make
+// that hold. First, the sampler already delivers a thread-invariant
+// batch stream in batch order. Second, every float accumulation here —
+// matmuls, aggregator means, gradient reduction, SGD updates — iterates
+// in a fixed order with no parallelism inside the model, so f32
+// non-associativity never sees a reordering. Bit-identical weights at
+// any Config.Threads is a tested guarantee, not a best effort.
+package train
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"ringsampler/internal/core"
+	"ringsampler/internal/sample"
+)
+
+// initSalt decorrelates weight-init RNG streams from every other
+// consumer of the shared seed.
+const initSalt = 0x9a5e1417
+
+// MaxLayers bounds model depth: the sampler's default fanout is 3
+// layers and the mean-aggregator model is only ever trained 1–2 deep.
+const MaxLayers = 3
+
+// Config describes a GraphSAGE model. All fields are required (zero
+// values are rejected by NewModel) except Seed, where 0 is a valid
+// seed.
+type Config struct {
+	// FeatureDim is the node feature width — must match the dataset's.
+	FeatureDim int
+	// Hidden is the per-layer hidden width.
+	Hidden int
+	// Classes is the softmax output width — must match the dataset's
+	// numClasses.
+	Classes int
+	// Layers is the GraphSAGE depth (1..MaxLayers). A batch must carry
+	// at least this many sampled layers.
+	Layers int
+	// LR is the SGD learning rate.
+	LR float32
+	// Seed drives weight initialization.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.FeatureDim <= 0 {
+		return fmt.Errorf("train: FeatureDim %d must be positive", c.FeatureDim)
+	}
+	if c.Hidden <= 0 {
+		return fmt.Errorf("train: Hidden %d must be positive", c.Hidden)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("train: Classes %d must be at least 2", c.Classes)
+	}
+	if c.Layers < 1 || c.Layers > MaxLayers {
+		return fmt.Errorf("train: Layers %d out of range [1,%d]", c.Layers, MaxLayers)
+	}
+	if !(c.LR > 0) {
+		return fmt.Errorf("train: LR %v must be positive", c.LR)
+	}
+	return nil
+}
+
+// params is one full set of model-shaped tensors — the weights
+// themselves, and (same shapes) a gradient accumulator. All matrices
+// are row-major flat slices.
+type params struct {
+	// Wself[l] (Hidden × FeatureDim) maps node l's OWN raw feature
+	// vector; Wneigh[l] (Hidden × aggIn(l)) maps the mean-aggregated
+	// neighbor representation — raw features at the deepest layer,
+	// next-layer hidden states above it; B[l] (Hidden) is the bias.
+	Wself, Wneigh, B [][]float32
+	// Wout (Classes × Hidden) + Bout (Classes) produce the logits from
+	// the level-0 hidden states.
+	Wout, Bout []float32
+}
+
+// aggIn returns the aggregator input width of model level l: raw
+// features feed the deepest level, hidden states feed the rest.
+func (c Config) aggIn(l int) int {
+	if l == c.Layers-1 {
+		return c.FeatureDim
+	}
+	return c.Hidden
+}
+
+func newParams(c Config) params {
+	p := params{
+		Wself:  make([][]float32, c.Layers),
+		Wneigh: make([][]float32, c.Layers),
+		B:      make([][]float32, c.Layers),
+		Wout:   make([]float32, c.Classes*c.Hidden),
+		Bout:   make([]float32, c.Classes),
+	}
+	for l := 0; l < c.Layers; l++ {
+		p.Wself[l] = make([]float32, c.Hidden*c.FeatureDim)
+		p.Wneigh[l] = make([]float32, c.Hidden*c.aggIn(l))
+		p.B[l] = make([]float32, c.Hidden)
+	}
+	return p
+}
+
+// tensors returns every tensor in the model's canonical order — the
+// order WeightsDigest folds, gradients apply, and the gradient-check
+// test sweeps.
+func (p *params) tensors() [][]float32 {
+	var ts [][]float32
+	for l := range p.Wself {
+		ts = append(ts, p.Wself[l], p.Wneigh[l], p.B[l])
+	}
+	return append(ts, p.Wout, p.Bout)
+}
+
+func (p *params) zero() {
+	for _, t := range p.tensors() {
+		for i := range t {
+			t[i] = 0
+		}
+	}
+}
+
+// Model is a GraphSAGE mean-aggregator network. It is NOT safe for
+// concurrent Step calls — the determinism contract forbids model-level
+// parallelism anyway (gradient reduction must be fixed-order), so the
+// training loop always drives one Model from one goroutine.
+type Model struct {
+	cfg Config
+	params
+	grad params
+	// steps counts applied SGD updates (one per Step call).
+	steps int64
+}
+
+// NewModel builds a model with Glorot-uniform initial weights derived
+// from cfg.Seed. Initialization is deterministic: tensor t's entries
+// come from an RNG seeded Mix(Seed^initSalt, t), independent of
+// everything else that mixes the seed.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg, params: newParams(cfg), grad: newParams(cfg)}
+	fanIn := func(t []float32, rows int) int { return len(t) / rows }
+	for ti, t := range m.params.tensors() {
+		if len(t) == 0 {
+			continue
+		}
+		rng := sample.NewRNG(sample.Mix(cfg.Seed^initSalt, uint64(ti)))
+		// Bias vectors start at zero (the Glorot convention); matrices get
+		// uniform(-limit, limit) with limit = sqrt(6/(fanIn+fanOut)).
+		var rows int
+		switch {
+		case ti == len(m.params.tensors())-2: // Wout
+			rows = cfg.Classes
+		case ti == len(m.params.tensors())-1: // Bout
+			continue
+		case ti%3 == 2: // B[l]
+			continue
+		default: // Wself[l] / Wneigh[l]
+			rows = cfg.Hidden
+		}
+		limit := math.Sqrt(6 / float64(fanIn(t, rows)+rows))
+		for i := range t {
+			t[i] = float32((rng.Float64()*2 - 1) * limit)
+		}
+	}
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Steps returns how many SGD updates have been applied.
+func (m *Model) Steps() int64 { return m.steps }
+
+// WeightsDigest folds every parameter's f32 bit pattern into an FNV-1a
+// sum in canonical tensor order. Bit-identical models (and only those,
+// modulo hash collisions) share a digest — this is what the
+// thread-invariance and overlap-equivalence tests compare.
+func (m *Model) WeightsDigest() uint64 {
+	h := fnv.New64a()
+	var word [4]byte
+	for _, t := range m.params.tensors() {
+		for _, v := range t {
+			u := math.Float32bits(v)
+			word[0], word[1], word[2], word[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+			h.Write(word[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// batchState is the forward pass's retained intermediate state, kept
+// for the backward pass.
+type batchState struct {
+	feats []float32 // decoded Batch.Features
+	nodes []uint32  // Batch.FeatNodes (sorted)
+
+	// Per model level l: the frontier's pre-activations, hidden states,
+	// and aggregated neighbor inputs, indexed like b.Layers[l].Targets.
+	pre, hid, agg [][]float32
+	// lookup[l] maps a node id to its index in b.Layers[l].Targets
+	// (first occurrence wins for the walk strategy's duplicate-carrying
+	// frontiers). lookup[0] is unused.
+	lookup []map[uint32]int
+	// dlogits is dLoss/dlogits per level-0 target, already scaled by
+	// 1/batch so accumulated gradients are means. Nil on Eval.
+	dlogits []float32
+}
+
+// featOf returns node v's decoded feature vector.
+func (st *batchState) featOf(v uint32, dim int) ([]float32, error) {
+	i := sort.Search(len(st.nodes), func(i int) bool { return st.nodes[i] >= v })
+	if i == len(st.nodes) || st.nodes[i] != v {
+		return nil, fmt.Errorf("train: node %d missing from batch feature payload", v)
+	}
+	return st.feats[i*dim : (i+1)*dim], nil
+}
+
+// matvecAdd computes y += W·x for row-major W (len(y) rows).
+func matvecAdd(y []float32, w, x []float32) {
+	cols := len(x)
+	for r := range y {
+		row := w[r*cols : (r+1)*cols]
+		var s float32
+		for d, xv := range x {
+			s += row[d] * xv
+		}
+		y[r] += s
+	}
+}
+
+// matvecTAdd computes x += Wᵀ·y for row-major W (len(y) rows).
+func matvecTAdd(x []float32, w, y []float32) {
+	cols := len(x)
+	for r, yv := range y {
+		if yv == 0 {
+			continue
+		}
+		row := w[r*cols : (r+1)*cols]
+		for d := range x {
+			x[d] += row[d] * yv
+		}
+	}
+}
+
+// outerAdd accumulates g += y ⊗ x into row-major g (len(y) rows).
+func outerAdd(g []float32, y, x []float32) {
+	cols := len(x)
+	for r, yv := range y {
+		if yv == 0 {
+			continue
+		}
+		row := g[r*cols : (r+1)*cols]
+		for d, xv := range x {
+			row[d] += yv * xv
+		}
+	}
+}
+
+// Step runs one forward/backward pass over the batch and applies one
+// SGD update. labels is the WHOLE graph's per-node label array
+// (storage.Dataset.Labels); the batch's level-0 targets index into it.
+// Returns the mean cross-entropy loss over the batch's targets and how
+// many were classified correctly. The update is strictly sequential
+// and fixed-order — see the package comment.
+func (m *Model) Step(b *core.Batch, labels []uint32) (loss float64, correct int, err error) {
+	st, loss, correct, err := m.forward(b, labels, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := m.backward(b, st); err != nil {
+		return 0, 0, err
+	}
+	for ti, t := range m.params.tensors() {
+		g := m.grad.tensors()[ti]
+		for i := range t {
+			t[i] -= m.cfg.LR * g[i]
+		}
+	}
+	m.steps++
+	return loss, correct, nil
+}
+
+// Eval runs the forward pass only: mean loss and correct count with no
+// weight update.
+func (m *Model) Eval(b *core.Batch, labels []uint32) (loss float64, correct int, err error) {
+	_, loss, correct, err = m.forward(b, labels, false)
+	return loss, correct, err
+}
+
+// forward validates the batch against the model shape and runs the
+// bottom-up forward pass. With retain, the intermediate state needed by
+// backward is kept; Eval passes false and the per-level slices are
+// still built (they are the computation) but returned for reuse.
+func (m *Model) forward(b *core.Batch, labels []uint32, retain bool) (*batchState, float64, int, error) {
+	c := m.cfg
+	if b.FeatureDim != c.FeatureDim {
+		return nil, 0, 0, fmt.Errorf("train: batch feature dim %d != model %d (is Config.FetchFeatures on?)", b.FeatureDim, c.FeatureDim)
+	}
+	if len(b.Layers) < c.Layers {
+		return nil, 0, 0, fmt.Errorf("train: batch has %d sampled layers, model needs %d", len(b.Layers), c.Layers)
+	}
+	if len(b.FeatNodes)*c.FeatureDim*4 != len(b.Features) {
+		return nil, 0, 0, fmt.Errorf("train: feature payload %d bytes inconsistent with %d nodes × dim %d", len(b.Features), len(b.FeatNodes), c.FeatureDim)
+	}
+	st := &batchState{
+		nodes:  b.FeatNodes,
+		feats:  decodeF32(b.Features),
+		pre:    make([][]float32, c.Layers),
+		hid:    make([][]float32, c.Layers),
+		agg:    make([][]float32, c.Layers),
+		lookup: make([]map[uint32]int, c.Layers),
+	}
+	for l := 1; l < c.Layers; l++ {
+		lk := make(map[uint32]int, len(b.Layers[l].Targets))
+		for i, v := range b.Layers[l].Targets {
+			if _, ok := lk[v]; !ok {
+				lk[v] = i
+			}
+		}
+		st.lookup[l] = lk
+	}
+
+	// Bottom-up: the deepest level aggregates raw neighbor features,
+	// every level above aggregates the level below's hidden states.
+	for l := c.Layers - 1; l >= 0; l-- {
+		lay := &b.Layers[l]
+		n := len(lay.Targets)
+		aggW := c.aggIn(l)
+		st.pre[l] = make([]float32, n*c.Hidden)
+		st.hid[l] = make([]float32, n*c.Hidden)
+		st.agg[l] = make([]float32, n*aggW)
+		for i, v := range lay.Targets {
+			agg := st.agg[l][i*aggW : (i+1)*aggW]
+			neigh := lay.NeighborsOf(i)
+			if len(neigh) > 0 {
+				inv := float32(1) / float32(len(neigh))
+				for _, u := range neigh {
+					var src []float32
+					if l == c.Layers-1 {
+						f, err := st.featOf(u, c.FeatureDim)
+						if err != nil {
+							return nil, 0, 0, err
+						}
+						src = f
+					} else {
+						j, ok := st.lookup[l+1][u]
+						if !ok {
+							return nil, 0, 0, fmt.Errorf("train: neighbor %d of layer-%d node %d missing from layer-%d frontier", u, l, v, l+1)
+						}
+						src = st.hid[l+1][j*c.Hidden : (j+1)*c.Hidden]
+					}
+					for d, sv := range src {
+						agg[d] += sv
+					}
+				}
+				for d := range agg {
+					agg[d] *= inv
+				}
+			}
+			self, err := st.featOf(v, c.FeatureDim)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			z := st.pre[l][i*c.Hidden : (i+1)*c.Hidden]
+			copy(z, m.B[l])
+			matvecAdd(z, m.Wself[l], self)
+			matvecAdd(z, m.Wneigh[l], agg)
+			h := st.hid[l][i*c.Hidden : (i+1)*c.Hidden]
+			for d, zv := range z {
+				if zv > 0 {
+					h[d] = zv
+				}
+			}
+		}
+	}
+
+	// Logits, softmax cross-entropy, accuracy. The softmax runs through
+	// float64 for a numerically stable log-sum-exp; the resulting
+	// gradient is cast back to f32.
+	var sumLoss float64
+	var corr int
+	targets := b.Layers[0].Targets
+	logits := make([]float32, c.Classes)
+	if retain {
+		st.dlogits = make([]float32, len(targets)*c.Classes)
+	}
+	for i, v := range targets {
+		if int64(v) >= int64(len(labels)) {
+			return nil, 0, 0, fmt.Errorf("train: target %d outside label array (%d nodes)", v, len(labels))
+		}
+		lab := labels[v]
+		if int(lab) >= c.Classes {
+			return nil, 0, 0, fmt.Errorf("train: label %d of node %d outside model classes %d", lab, v, c.Classes)
+		}
+		h := st.hid[0][i*c.Hidden : (i+1)*c.Hidden]
+		copy(logits, m.Bout)
+		matvecAdd(logits, m.Wout, h)
+		maxL, argmax := float64(logits[0]), 0
+		for cix := 1; cix < c.Classes; cix++ {
+			if float64(logits[cix]) > maxL {
+				maxL, argmax = float64(logits[cix]), cix
+			}
+		}
+		if argmax == int(lab) {
+			corr++
+		}
+		var sumExp float64
+		for cix := 0; cix < c.Classes; cix++ {
+			sumExp += math.Exp(float64(logits[cix]) - maxL)
+		}
+		logSum := math.Log(sumExp) + maxL
+		sumLoss += logSum - float64(logits[lab])
+		if retain {
+			dl := st.dlogits[i*c.Classes : (i+1)*c.Classes]
+			invB := 1 / float64(len(targets))
+			for cix := 0; cix < c.Classes; cix++ {
+				p := math.Exp(float64(logits[cix]) - logSum)
+				if cix == int(lab) {
+					p -= 1
+				}
+				dl[cix] = float32(p * invB)
+			}
+		}
+	}
+	return st, sumLoss / float64(len(targets)), corr, nil
+}
+
+// backward accumulates the mean-loss gradient into m.grad, mirroring
+// forward's traversal top-down in the same fixed iteration order.
+func (m *Model) backward(b *core.Batch, st *batchState) error {
+	c := m.cfg
+	m.grad.zero()
+	// dHid[l] is dLoss/d(hidden state) for level l's frontier.
+	dHid := make([][]float32, c.Layers)
+	for l := 0; l < c.Layers; l++ {
+		dHid[l] = make([]float32, len(b.Layers[l].Targets)*c.Hidden)
+	}
+	for i := range b.Layers[0].Targets {
+		dl := st.dlogits[i*c.Classes : (i+1)*c.Classes]
+		h := st.hid[0][i*c.Hidden : (i+1)*c.Hidden]
+		outerAdd(m.grad.Wout, dl, h)
+		for cix, g := range dl {
+			m.grad.Bout[cix] += g
+		}
+		matvecTAdd(dHid[0][i*c.Hidden:(i+1)*c.Hidden], m.Wout, dl)
+	}
+	dz := make([]float32, c.Hidden)
+	for l := 0; l < c.Layers; l++ {
+		lay := &b.Layers[l]
+		aggW := c.aggIn(l)
+		dAgg := make([]float32, aggW)
+		for i, v := range lay.Targets {
+			z := st.pre[l][i*c.Hidden : (i+1)*c.Hidden]
+			dh := dHid[l][i*c.Hidden : (i+1)*c.Hidden]
+			for d := range dz {
+				if z[d] > 0 {
+					dz[d] = dh[d]
+				} else {
+					dz[d] = 0
+				}
+			}
+			self, err := st.featOf(v, c.FeatureDim)
+			if err != nil {
+				return err
+			}
+			outerAdd(m.grad.Wself[l], dz, self)
+			outerAdd(m.grad.Wneigh[l], dz, st.agg[l][i*aggW:(i+1)*aggW])
+			for d, g := range dz {
+				m.grad.B[l][d] += g
+			}
+			neigh := lay.NeighborsOf(i)
+			if l == c.Layers-1 || len(neigh) == 0 {
+				continue
+			}
+			for d := range dAgg {
+				dAgg[d] = 0
+			}
+			matvecTAdd(dAgg, m.Wneigh[l], dz)
+			inv := float32(1) / float32(len(neigh))
+			for _, u := range neigh {
+				j := st.lookup[l+1][u] // validated during forward
+				dst := dHid[l+1][j*c.Hidden : (j+1)*c.Hidden]
+				for d, g := range dAgg {
+					dst[d] += g * inv
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decodeF32 reinterprets little-endian f32 bytes as a float32 slice.
+func decodeF32(raw []byte) []float32 {
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		u := uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 | uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+		out[i] = math.Float32frombits(u)
+	}
+	return out
+}

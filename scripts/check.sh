@@ -29,6 +29,11 @@ go build ./...
 go test -race -run 'TestEpochThreadInvariance|TestEpochScalingInvariance|TestStrategyThreadInvariance' ./internal/core ./internal/exp
 go test -race -run 'TestRouterMatchesSingleNode|TestRouterShardFaultStillIdentical' ./internal/shard
 go test -race -run 'TestShardConformance' ./internal/serve
+# Training rides in the same gate: after 3 epochs the loss curve and
+# the final model weights must be BIT-identical at 1 vs 4 worker
+# threads (fixed-order gradient reduction over the in-order batch
+# stream; DESIGN.md §13).
+go test -race -run 'TestTrainThreadInvariance|TestTrainOverlappedMatchesSerialized' ./internal/train
 
 if [ "${QUICK:-0}" = "1" ]; then
     go test -race -short ./...
@@ -79,6 +84,23 @@ go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 \
     -threads 4 -targets 2048 -batch 256 \
     -bench-strategy benchdata/BENCH_strategy.json $strat_quick >/dev/null
 echo "wrote benchdata/BENCH_strategy.json"
+
+# Training pipeline sweep (DESIGN.md §13): GraphSAGE training on the
+# checked-in labeled dataset through {overlapped, serialized} ×
+# {feature cache off, full}. The sweep enforces bit-identical final
+# weights and loss curves across all four points, and (full mode) that
+# the overlapped pipeline's end-to-end throughput strictly beats the
+# serialized reference. Written as benchdata/BENCH_train.json; QUICK=1
+# drops to a 1-epoch smoke run (determinism checks only — a 1-epoch
+# run has no stable timing signal).
+train_flags="-train-epochs 3"
+if [ "${QUICK:-0}" = "1" ]; then
+    train_flags="-train-epochs 1 -bench-train-quick"
+fi
+go run ./cmd/epoch -data benchdata/bench/ogbn-papers-div20000 \
+    -threads 4 -targets 8192 -batch 256 \
+    -bench-train benchdata/BENCH_train.json $train_flags >/dev/null
+echo "wrote benchdata/BENCH_train.json"
 
 # Bench summary: epoch throughput (entries/s, bytes/s) and hot-neighbor
 # cache hit rate at budgets 0 and 64 MiB on the checked-in dataset,
